@@ -1,0 +1,54 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one of the paper's tables.  Rendered tables are
+collected here and echoed in the terminal summary (which pytest does not
+capture), and also written to ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``SNAKE_FULL=1``      — execute the full strategy sweep (hours on one CPU)
+* ``SNAKE_SAMPLE_EVERY`` — stratified sampling rate for Table I (default 16)
+* ``SNAKE_WORKERS``     — parallel executors (default: cpu_count - 1)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Tuple
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_SECTIONS: List[Tuple[str, str]] = []
+
+
+def sample_every() -> int:
+    if os.environ.get("SNAKE_FULL") == "1":
+        return 1
+    return int(os.environ.get("SNAKE_SAMPLE_EVERY", "16"))
+
+
+def worker_count() -> int:
+    value = os.environ.get("SNAKE_WORKERS")
+    if value:
+        return int(value)
+    from repro.core.parallel import default_worker_count
+
+    return default_worker_count()
+
+
+def record_section(title: str, body: str) -> None:
+    """Register a rendered table for the summary and write it to disk."""
+    _SECTIONS.append((title, body))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = title.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{slug}.txt").write_text(body + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _SECTIONS:
+        return
+    terminalreporter.write_sep("=", "SNAKE reproduction results")
+    for title, body in _SECTIONS:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(body)

@@ -1,0 +1,145 @@
+"""Per-attack effect sizes from the Section VI narratives.
+
+The paper quotes magnitudes for several attacks; this bench measures ours:
+
+* Duplicate Acknowledgment Spoofing: "increase a malicious connection's
+  throughput by a factor of 5" (Windows 95);
+* Duplicate Acknowledgment Rate Limiting: "throughput degradation of a
+  factor of 5 compared to the competing flow" (Windows 8.1), while "both
+  Linux implementations show throughput consistent with normal TCP
+  competition";
+* Reset / SYN-Reset: the competing connection stops transferring;
+* DCCP Acknowledgment Mung: sender pinned at DCCP's minimum rate;
+* DCCP In-window Seq Modification: "an entire window of packets dropped"
+  per resync -> rate collapse.
+
+Absolute factors depend on the substrate; the asserted *shape* is who is
+affected, in which direction, and by at least a factor of two.
+"""
+
+import pytest
+
+from repro.core import AttackDetector, BaselineMetrics, Executor, Strategy, TestbedConfig
+
+from conftest import record_section
+
+_LINES = []
+_EXPECTED_LINES = 7
+
+
+def measure(protocol, variant, strategy, long_window=False):
+    """Directed run; ``long_window`` keeps the target flow alive for 8 s so
+    slow-building effects (congestion-control gaming) reach steady state."""
+    config = TestbedConfig(protocol=protocol, variant=variant)
+    if long_window:
+        config = TestbedConfig(protocol=protocol, variant=variant,
+                               client_stop_at=8.0, duration=9.0)
+    executor = Executor(config)
+    baseline = BaselineMetrics.from_runs(
+        [executor.run(None, seed=101), executor.run(None, seed=202)]
+    )
+    run = executor.run(strategy)
+    return baseline, run
+
+
+def record(line):
+    _LINES.append(line)
+    if len(_LINES) == _EXPECTED_LINES:
+        record_section("Attack effect sizes (Section VI narratives)", "\n".join(_LINES))
+
+
+def packet_strategy(protocol, state, ptype, action, **params):
+    return Strategy(1, protocol, "packet", state=state, packet_type=ptype,
+                    action=action, params=params)
+
+
+def test_duplicate_ack_spoofing_gain(benchmark):
+    strategy = packet_strategy("tcp", "ESTABLISHED", "ACK", "duplicate", copies=3)
+    baseline, run = benchmark.pedantic(
+        lambda: measure("tcp", "windows-95", strategy, long_window=True),
+        rounds=1, iterations=1)
+    gain = run.target_bytes / baseline.target_bytes
+    fairness = (run.target_bytes / run.competing_bytes) / (
+        baseline.target_bytes / baseline.competing_bytes
+    )
+    # In a saturated two-flow 4 Mbit/s dumbbell the own-throughput gain is
+    # ceiling-bound at ~2.3x (fair share -> full capacity); the fairness
+    # shift is the unbounded signal.  The paper's x5 reflects a 100 Mbit/s
+    # testbed whose baseline Windows 95 flow left far more headroom.
+    record(f"dup-ACK spoofing (win95): target x{gain:.2f}, fairness shift x{fairness:.2f} "
+           f"(paper: x5 throughput increase; our gain is capacity-ceiling-bound)")
+    assert gain > 1.3
+    assert fairness > 2.0
+
+
+def test_duplicate_ack_rate_limiting_degradation(benchmark):
+    strategy = packet_strategy("tcp", "ESTABLISHED", "PSH+ACK", "duplicate", copies=10)
+    baseline, run = benchmark.pedantic(
+        lambda: measure("tcp", "windows-8.1", strategy, long_window=True),
+        rounds=1, iterations=1)
+    degradation = baseline.target_bytes / max(run.target_bytes, 1)
+    record(f"dup-ACK rate limiting (win8.1): target degraded x{degradation:.1f} "
+           f"(paper: factor of 5)")
+    assert degradation > 3.0
+
+
+def test_rate_limiting_does_not_hit_linux(benchmark):
+    strategy = packet_strategy("tcp", "ESTABLISHED", "PSH+ACK", "duplicate", copies=10)
+    baseline, run = benchmark.pedantic(
+        lambda: measure("tcp", "linux-3.13", strategy, long_window=True),
+        rounds=1, iterations=1)
+    ratio = run.target_bytes / baseline.target_bytes
+    record(f"same strategy on linux-3.13: target at {ratio * 100:.0f}% of baseline "
+           f"(paper: approximately fair sharing)")
+    assert ratio > 0.5
+
+
+def test_reset_attack_kills_competing_flow(benchmark):
+    strategy = Strategy(1, "tcp", "hitseqwindow", params={
+        "src": "client2", "dst": "server2", "sport": 40000, "dport": 80,
+        "packet_type": "RST", "stride": 262144, "count": (1 << 24) // 262144 + 2,
+        "interval": 0.004, "payload_len": 0, "space": 1 << 24,
+        "trigger": ("time", 1.0),
+    })
+    baseline, run = benchmark.pedantic(
+        lambda: measure("tcp", "linux-3.13", strategy), rounds=1, iterations=1)
+    ratio = run.competing_bytes / baseline.competing_bytes
+    record(f"reset attack: competing connection at {ratio * 100:.0f}% of baseline "
+           f"({strategy.params['count']} packets swept)")
+    assert ratio < 0.5
+
+
+def test_dccp_ack_mung_minimum_rate(benchmark):
+    strategy = packet_strategy("dccp", "OPEN", "ACK", "lie", field="ack", mode="zero", operand=0)
+    baseline, run = benchmark.pedantic(
+        lambda: measure("dccp", "linux-3.13-dccp", strategy), rounds=1, iterations=1)
+    ratio = run.target_bytes / baseline.target_bytes
+    record(f"DCCP ack mung: sender at {ratio * 100:.1f}% of baseline goodput, "
+           f"server socket lingering={run.server1_lingering} "
+           f"(paper: open-but-useless connection)")
+    assert ratio < 0.05
+    assert run.server1_lingering > 0
+
+
+def test_dccp_inwindow_seq_mod_collapse(benchmark):
+    strategy = packet_strategy("dccp", "OPEN", "ACK", "lie", field="seq", mode="add", operand=50)
+    baseline, run = benchmark.pedantic(
+        lambda: measure("dccp", "linux-3.13-dccp", strategy), rounds=1, iterations=1)
+    ratio = run.target_bytes / baseline.target_bytes
+    record(f"DCCP in-window seq+50 on ACKs: goodput at {ratio * 100:.1f}% of baseline "
+           f"(paper: forced resync drops a window per munged ack)")
+    assert ratio < 0.5
+
+
+def test_dccp_request_termination_window(benchmark):
+    strategy = Strategy(1, "dccp", "inject", params={
+        "src": "server1", "dst": "client1", "sport": 5001, "dport": 42000,
+        "packet_type": "DATA", "fields": {"seq": "random", "ack": "random"},
+        "count": 1, "interval": 0.01, "payload_len": 1400,
+        "trigger": ("state", "client", "REQUEST"),
+    })
+    baseline, run = benchmark.pedantic(
+        lambda: measure("dccp", "linux-3.13-dccp", strategy), rounds=1, iterations=1)
+    record(f"DCCP REQUEST termination: one forged packet, goodput {run.target_bytes} bytes "
+           f"(paper: any non-RESPONSE packet with any sequence numbers resets)")
+    assert run.target_bytes == 0

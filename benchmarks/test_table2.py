@@ -1,0 +1,164 @@
+"""Table II: the nine discovered attacks and which implementations fall.
+
+For each attack the strategy SNAKE discovers is executed directly against
+every implementation of its protocol; an implementation is vulnerable when
+the detector (same thresholds as the campaign) confirms the attack's
+effect.  The expected vulnerability matrix is the paper's:
+
+* CLOSE_WAIT Resource Exhaustion ......... Linux 3.0.0, Linux 3.13
+* Packets with Invalid Flags ............. Linux 3.0.0, Windows 8.1
+* Duplicate Acknowledgment Spoofing ...... Windows 95
+* Reset Attack ........................... all
+* SYN-Reset Attack ....................... all
+* Duplicate Acknowledgment Rate Limiting . Windows 8.1
+* Acknowledgment Mung / In-window Seq Mod /
+  REQUEST Termination .................... Linux 3.13 DCCP
+"""
+
+import pytest
+
+from repro.core import AttackDetector, BaselineMetrics, Executor, Strategy, TestbedConfig
+from repro.core.detector import (
+    EFFECT_CONNECTION_PREVENTED,
+    EFFECT_INVALID_FLAG_RESPONSE,
+    EFFECT_RESOURCE_EXHAUSTION,
+    EFFECT_TARGET_DEGRADED,
+    EFFECT_TARGET_INCREASED,
+)
+from repro.core.reporting import render_table2
+from repro.tcpstack.variants import get_variant
+
+from conftest import record_section
+
+TCP_VARIANTS = ("linux-3.0.0", "linux-3.13", "windows-8.1", "windows-95")
+DCCP_VARIANTS = ("linux-3.13-dccp",)
+SEQ_SPACE = 1 << 24
+
+_BASELINES = {}
+
+
+def detector_for(protocol, variant):
+    key = (protocol, variant)
+    if key not in _BASELINES:
+        executor = Executor(TestbedConfig(protocol=protocol, variant=variant))
+        _BASELINES[key] = AttackDetector(BaselineMetrics.from_runs(
+            [executor.run(None, seed=101), executor.run(None, seed=202)]
+        ))
+    return _BASELINES[key]
+
+
+def run_one(protocol, variant, strategy):
+    executor = Executor(TestbedConfig(protocol=protocol, variant=variant))
+    return detector_for(protocol, variant).evaluate(executor.run(strategy))
+
+
+def packet_strategy(protocol, state, ptype, action, **params):
+    return Strategy(1, protocol, "packet", state=state, packet_type=ptype,
+                    action=action, params=params)
+
+
+def sweep(variant, packet_type):
+    stride = get_variant(variant).receive_window
+    return Strategy(1, "tcp", "hitseqwindow", params={
+        "src": "client2", "dst": "server2", "sport": 40000, "dport": 80,
+        "packet_type": packet_type, "stride": stride,
+        "count": SEQ_SPACE // stride + 2, "interval": 0.004,
+        "payload_len": 0, "space": SEQ_SPACE, "trigger": ("time", 1.0),
+    })
+
+
+#: attack name -> (protocol, strategy factory(variant), vulnerability predicate)
+SCENARIOS = {
+    "CLOSE_WAIT Resource Exhaustion": (
+        "tcp",
+        lambda v: packet_strategy("tcp", "FIN_WAIT_2", "RST", "drop", percent=100),
+        lambda d: EFFECT_RESOURCE_EXHAUSTION in d.effects,
+    ),
+    "Packets with Invalid Flags": (
+        "tcp",
+        lambda v: packet_strategy("tcp", "ESTABLISHED", "PSH+ACK", "lie",
+                                  field="flags",
+                                  mode="zero" if v.startswith("linux") else "max",
+                                  operand=0),
+        lambda d: EFFECT_INVALID_FLAG_RESPONSE in d.effects or d.target_reset,
+    ),
+    "Duplicate Acknowledgment Spoofing": (
+        "tcp",
+        lambda v: packet_strategy("tcp", "ESTABLISHED", "ACK", "duplicate", copies=3),
+        lambda d: EFFECT_TARGET_INCREASED in d.effects,
+    ),
+    "Reset Attack": (
+        "tcp",
+        lambda v: sweep(v, "RST"),
+        lambda d: d.competing_reset,
+    ),
+    "SYN-Reset Attack": (
+        "tcp",
+        lambda v: sweep(v, "SYN"),
+        lambda d: d.competing_reset,
+    ),
+    "Duplicate Acknowledgment Rate Limiting": (
+        "tcp",
+        lambda v: packet_strategy("tcp", "ESTABLISHED", "PSH+ACK", "duplicate", copies=10),
+        lambda d: EFFECT_TARGET_DEGRADED in d.effects or EFFECT_CONNECTION_PREVENTED in d.effects,
+    ),
+    "Acknowledgment Mung Resource Exhaustion": (
+        "dccp",
+        lambda v: packet_strategy("dccp", "OPEN", "ACK", "lie",
+                                  field="ack", mode="zero", operand=0),
+        lambda d: EFFECT_RESOURCE_EXHAUSTION in d.effects,
+    ),
+    "In-window Acknowledgment Sequence Number Modification": (
+        "dccp",
+        lambda v: packet_strategy("dccp", "OPEN", "ACK", "lie",
+                                  field="seq", mode="add", operand=50),
+        lambda d: EFFECT_TARGET_DEGRADED in d.effects or EFFECT_CONNECTION_PREVENTED in d.effects,
+    ),
+    "REQUEST Connection Termination": (
+        "dccp",
+        lambda v: Strategy(1, "dccp", "inject", params={
+            "src": "server1", "dst": "client1", "sport": 5001, "dport": 42000,
+            "packet_type": "DATA", "fields": {"seq": "random", "ack": "random"},
+            "count": 1, "interval": 0.01, "payload_len": 1400,
+            "trigger": ("state", "client", "REQUEST"),
+        }),
+        lambda d: EFFECT_CONNECTION_PREVENTED in d.effects,
+    ),
+}
+
+#: the paper's vulnerability matrix
+EXPECTED = {
+    "CLOSE_WAIT Resource Exhaustion": {"linux-3.0.0", "linux-3.13"},
+    "Packets with Invalid Flags": {"linux-3.0.0", "windows-8.1"},
+    "Duplicate Acknowledgment Spoofing": {"windows-95"},
+    "Reset Attack": set(TCP_VARIANTS),
+    "SYN-Reset Attack": set(TCP_VARIANTS),
+    "Duplicate Acknowledgment Rate Limiting": {"windows-8.1"},
+    "Acknowledgment Mung Resource Exhaustion": {"linux-3.13-dccp"},
+    "In-window Acknowledgment Sequence Number Modification": {"linux-3.13-dccp"},
+    "REQUEST Connection Termination": {"linux-3.13-dccp"},
+}
+
+_MATRIX = {}
+
+
+@pytest.mark.parametrize("attack", list(SCENARIOS), ids=lambda a: a.replace(" ", "-"))
+def test_attack_vulnerability_matrix(benchmark, attack):
+    protocol, strategy_factory, predicate = SCENARIOS[attack]
+    variants = TCP_VARIANTS if protocol == "tcp" else DCCP_VARIANTS
+
+    def run_matrix():
+        vulnerable = []
+        for variant in variants:
+            detection = run_one(protocol, variant, strategy_factory(variant))
+            if predicate(detection):
+                vulnerable.append(variant)
+        return vulnerable
+
+    vulnerable = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    _MATRIX[attack] = vulnerable
+    assert set(vulnerable) == EXPECTED[attack], attack
+
+    if len(_MATRIX) == len(SCENARIOS):
+        body = render_table2(_MATRIX)
+        record_section("Table II - attacks discovered by SNAKE", body)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Combination strategies: sequences of basic attacks (paper future work).
+
+The paper notes that basic attacks could be chained into "strategies
+consisting of sequences of actions" but leaves that unimplemented.  This
+example runs a handful of two-step combos (lie-then-delay,
+duplicate-then-drop, ...) against Linux 3.13 and compares their impact with
+the single-action strategies they are built from.
+
+Run:  python examples/combination_attacks.py
+"""
+
+from repro.core import AttackDetector, BaselineMetrics, Executor, Strategy, TestbedConfig
+
+
+def combo(state, ptype, *steps):
+    return Strategy(1, "tcp", "packet", state=state, packet_type=ptype,
+                    action="combo", params={"steps": list(steps)})
+
+
+def single(state, ptype, action, **params):
+    return Strategy(1, "tcp", "packet", state=state, packet_type=ptype,
+                    action=action, params=params)
+
+
+SCENARIOS = [
+    ("lie seq+1000 alone",
+     single("ESTABLISHED", "ACK", "lie", field="seq", mode="add", operand=1000)),
+    ("delay 0.5s alone",
+     single("ESTABLISHED", "ACK", "delay", seconds=0.5)),
+    ("lie seq+1000 -> delay 0.5s",
+     combo("ESTABLISHED", "ACK",
+           {"action": "lie", "field": "seq", "mode": "add", "operand": 1000},
+           {"action": "delay", "seconds": 0.5})),
+    ("duplicate x3 alone",
+     single("ESTABLISHED", "ACK", "duplicate", copies=3)),
+    ("duplicate x3 -> drop 50%",
+     combo("ESTABLISHED", "ACK",
+           {"action": "duplicate", "copies": 3},
+           {"action": "drop", "percent": 50})),
+    ("batch 0.5s -> duplicate x3 (shrew-flavoured burst)",
+     combo("ESTABLISHED", "PSH+ACK",
+           {"action": "batch", "window": 0.5},
+           {"action": "duplicate", "copies": 3})),
+]
+
+
+def main() -> None:
+    config = TestbedConfig(protocol="tcp", variant="linux-3.13")
+    executor = Executor(config)
+    baseline = BaselineMetrics.from_runs(
+        [executor.run(None, seed=101), executor.run(None, seed=202)]
+    )
+    detector = AttackDetector(baseline)
+    print(f"baseline: target {baseline.target_bytes / 1e6:.2f} MB, "
+          f"competing {baseline.competing_bytes / 1e6:.2f} MB")
+    print()
+    print(f"{'strategy':48s} {'target':>8s} {'competing':>10s}  effects")
+    for name, strategy in SCENARIOS:
+        detection = detector.evaluate(executor.run(strategy))
+        print(f"{name:48s} {detection.target_ratio * 100:7.1f}% "
+              f"{detection.competing_ratio * 100:9.1f}%  "
+              f"{', '.join(detection.effects) or '-'}")
+    print()
+    print("Combos largely inherit the impact of their dominant step, which is")
+    print("why the paper's single-action sweep already finds the real attacks;")
+    print("chaining becomes interesting for evasion (smaller per-step deltas).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Off-path sequence-space sweeps: the Reset and SYN-Reset attacks.
+
+An attacker who cannot see the target connection sweeps spoofed RST (or SYN)
+packets across the sequence space at receive-window intervals — Watson's
+"slipping in the window".  This example runs the sweep against the competing
+connection (which the proxy cannot observe) for every TCP implementation,
+and also shows the stride economics: halving the window doubles the packets
+needed for guaranteed coverage.
+
+Run:  python examples/offpath_attacks.py
+"""
+
+from repro.core import AttackDetector, BaselineMetrics, Executor, Strategy, TestbedConfig
+from repro.tcpstack.variants import TCP_VARIANTS, get_variant
+
+SEQ_SPACE = 1 << 24  # the executor's scaled ISS space
+
+
+def sweep_strategy(packet_type: str, stride: int) -> Strategy:
+    count = SEQ_SPACE // stride + 2
+    return Strategy(
+        strategy_id=1,
+        protocol="tcp",
+        kind="hitseqwindow",
+        params={
+            "src": "client2", "dst": "server2", "sport": 40000, "dport": 80,
+            "packet_type": packet_type, "stride": stride, "count": count,
+            "interval": 0.004, "payload_len": 0, "space": SEQ_SPACE,
+            "trigger": ("time", 1.0),
+        },
+    )
+
+
+def main() -> None:
+    for packet_type in ("RST", "SYN"):
+        print(f"== {packet_type} sweep against the competing connection ==")
+        for name in sorted(TCP_VARIANTS):
+            variant = get_variant(name)
+            stride = variant.receive_window  # the attacker knows OS defaults
+            config = TestbedConfig(protocol="tcp", variant=name)
+            executor = Executor(config)
+            baseline = BaselineMetrics.from_runs(
+                [executor.run(None, seed=101), executor.run(None, seed=202)]
+            )
+            strategy = sweep_strategy(packet_type, stride)
+            run = executor.run(strategy)
+            detection = AttackDetector(baseline).evaluate(run)
+            packets = strategy.params["count"]
+            outcome = "CONNECTION RESET" if detection.competing_reset else "survived"
+            print(
+                f"  {name:12s} stride={stride:7d} packets={packets:4d} "
+                f"competing throughput {detection.competing_ratio * 100:5.1f}% of baseline "
+                f"-> {outcome}"
+            )
+        print()
+
+    print("== stride economics (linux-3.13, RST sweep) ==")
+    variant = get_variant("linux-3.13")
+    config = TestbedConfig(protocol="tcp", variant="linux-3.13")
+    executor = Executor(config)
+    baseline = BaselineMetrics.from_runs(
+        [executor.run(None, seed=101), executor.run(None, seed=202)]
+    )
+    for divisor in (1, 2, 4):
+        stride = variant.receive_window // divisor
+        strategy = sweep_strategy("RST", stride)
+        run = executor.run(strategy)
+        detection = AttackDetector(baseline).evaluate(run)
+        print(
+            f"  stride=rwnd/{divisor}: {strategy.params['count']:5d} packets, "
+            f"reset={detection.competing_reset}"
+        )
+    print()
+    print("The paper's point: with a 2^32 space and 1-minute tests the same")
+    print("sweep needs ~65k packets -- feasible for the attacker, and exactly")
+    print("why keeping receive windows small is the only mitigation.")
+
+
+if __name__ == "__main__":
+    main()

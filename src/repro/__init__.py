@@ -1,0 +1,27 @@
+"""SNAKE: state-machine-guided attack discovery for transport protocols.
+
+A from-scratch reproduction of "Leveraging State Information for Automated
+Attack Discovery in Transport Protocol Implementations" (Jero, Lee,
+Nita-Rotaru -- DSN 2015), including the full substrate the paper's testbed
+provided: a deterministic network simulator, TCP and DCCP implementations
+with per-OS behavioural variants, the attack proxy, and the
+controller/executor search pipeline.
+
+Package map
+-----------
+``repro.netsim``        discrete-event simulator, links, hosts, dumbbell, taps
+``repro.packets``       header description language and generated codecs
+``repro.statemachine``  dot parsing, tracking, k-tails inference
+``repro.tcpstack``      RFC 793 engine + Linux/Windows variant profiles
+``repro.dccpstack``     RFC 4340 engine, CCID 2 and CCID 3/TFRC
+``repro.apps``          bulk-download and iperf-like workloads
+``repro.proxy``         the eight basic attacks + injection campaigns
+``repro.core``          SNAKE: generation, execution, detection, reporting
+
+Entry points: ``python -m repro`` (CLI), ``repro.core.Controller``
+(programmatic campaigns), ``examples/`` (runnable walkthroughs).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,26 @@
+"""Workload applications used by the SNAKE executor.
+
+The paper drives TCP with "a large HTTP download with Apache or IIS running
+on the servers and wget for clients" and DCCP with iperf.  These modules are
+the equivalents over our socket APIs:
+
+* :mod:`repro.apps.bulk` — bulk-download server and client for TCP,
+  including the early-exit client that models a killed wget (the CLOSE_WAIT
+  attack's trigger).
+* :mod:`repro.apps.iperf` — unreliable datagram flood sender/receiver for
+  DCCP, measuring goodput at the receiver.
+"""
+
+from repro.apps.bulk import BulkClient, BulkServer, BulkServerApp, start_bulk_transfer
+from repro.apps.iperf import IperfReceiver, IperfSender, IperfServer, start_iperf_flow
+
+__all__ = [
+    "BulkServer",
+    "BulkServerApp",
+    "BulkClient",
+    "start_bulk_transfer",
+    "IperfSender",
+    "IperfServer",
+    "IperfReceiver",
+    "start_iperf_flow",
+]

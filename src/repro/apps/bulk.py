@@ -1,0 +1,152 @@
+"""Bulk HTTP-download-like workload over the TCP stack.
+
+The server writes a large file in chunks, refilling its socket buffer as
+data is acknowledged (like Apache reading from disk); the last segment of
+each chunk carries PSH, so PSH+ACK packets "occur only occasionally in the
+data stream" exactly as the paper's Duplicate Acknowledgment Rate Limiting
+attack requires.  The client counts received bytes and can be configured to
+exit mid-download (a killed wget), the trigger for the CLOSE_WAIT attack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tcpstack.connection import TcpConnection
+from repro.tcpstack.endpoint import TcpEndpoint
+
+DEFAULT_CHUNK = 16_000
+DEFAULT_WATERMARK = 512_000
+
+
+class BulkServerApp:
+    """Per-connection server side: stream ``file_size`` bytes, then close."""
+
+    def __init__(
+        self,
+        conn: TcpConnection,
+        file_size: int,
+        chunk: int = DEFAULT_CHUNK,
+        watermark: int = DEFAULT_WATERMARK,
+    ):
+        self.conn = conn
+        self.file_size = file_size
+        self.chunk = chunk
+        self.watermark = watermark
+        self.written = 0
+        self.finished = False
+
+    def on_connected(self, conn: TcpConnection) -> None:
+        self._refill(conn)
+
+    def on_acked(self, conn: TcpConnection) -> None:
+        self._refill(conn)
+
+    def _refill(self, conn: TcpConnection) -> None:
+        if conn.app_closed or conn.state == "CLOSED":
+            return
+        while (
+            self.written < self.file_size
+            and (conn.unsent_bytes + conn.unacked_bytes) < self.watermark
+        ):
+            size = min(self.chunk, self.file_size - self.written)
+            conn.app_send(size)
+            self.written += size
+        if (
+            self.written >= self.file_size
+            and not self.finished
+            and conn.unsent_bytes == 0
+            and conn.unacked_bytes == 0
+        ):
+            self.finished = True
+            conn.app_close()
+
+
+class BulkServer:
+    """Listens on a port and serves the same file to every client."""
+
+    def __init__(
+        self,
+        endpoint: TcpEndpoint,
+        port: int = 80,
+        file_size: int = 50_000_000,
+        chunk: int = DEFAULT_CHUNK,
+    ):
+        self.endpoint = endpoint
+        self.port = port
+        self.file_size = file_size
+        self.chunk = chunk
+        self.apps: list = []
+        endpoint.listen(port, self._accept)
+
+    def _accept(self, conn: TcpConnection) -> "BulkServerApp":
+        app = BulkServerApp(conn, self.file_size, self.chunk)
+        self.apps.append(app)
+        return app
+
+
+class BulkClient:
+    """Download client; optionally exits mid-transfer like a killed wget."""
+
+    def __init__(
+        self,
+        endpoint: TcpEndpoint,
+        server_addr: str,
+        server_port: int = 80,
+        exit_after_bytes: Optional[int] = None,
+    ):
+        self.endpoint = endpoint
+        self.exit_after_bytes = exit_after_bytes
+        self.bytes_received = 0
+        self.connected = False
+        self.saw_remote_close = False
+        self.closed_reason: Optional[str] = None
+        self.reset = False
+        self.reset_at: Optional[float] = None
+        self.conn = endpoint.connect(server_addr, server_port, app=self)
+
+    # -- TCP callbacks -------------------------------------------------
+    def on_connected(self, conn: TcpConnection) -> None:
+        self.connected = True
+
+    def on_data(self, conn: TcpConnection, nbytes: int) -> None:
+        self.bytes_received += nbytes
+        if (
+            self.exit_after_bytes is not None
+            and self.bytes_received >= self.exit_after_bytes
+            and not conn.app_closed
+        ):
+            conn.app_exit()
+
+    def on_remote_close(self, conn: TcpConnection) -> None:
+        self.saw_remote_close = True
+        if not conn.app_closed:
+            conn.app_close()
+
+    def on_reset(self, conn: TcpConnection) -> None:
+        self.reset = True
+        if self.reset_at is None:
+            self.reset_at = conn.sim.now
+
+    def on_closed(self, conn: TcpConnection, reason: str) -> None:
+        self.closed_reason = reason
+
+    # -- measurements ---------------------------------------------------
+    def goodput_bps(self, duration: float) -> float:
+        if duration <= 0:
+            return 0.0
+        return self.bytes_received * 8.0 / duration
+
+
+def start_bulk_transfer(
+    server_endpoint: TcpEndpoint,
+    client_endpoint: TcpEndpoint,
+    port: int = 80,
+    file_size: int = 50_000_000,
+    exit_after_bytes: Optional[int] = None,
+) -> BulkClient:
+    """Wire a bulk server + client pair and return the client handle."""
+    BulkServer(server_endpoint, port, file_size)
+    return BulkClient(
+        client_endpoint, server_endpoint.address, port, exit_after_bytes=exit_after_bytes
+    )

@@ -1,0 +1,128 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``campaign``    — run a full SNAKE campaign against one implementation
+* ``baseline``    — run and print the non-attack baseline metrics
+* ``searchspace`` — the Section VI-C injection-model comparison
+* ``variants``    — list the available implementation variants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core import Controller, Executor, TestbedConfig, compare_injection_models
+from repro.core.generation import StrategyGenerator
+from repro.core.reporting import render_attack_clusters, render_searchspace, render_table1
+from repro.dccpstack.variants import DCCP_VARIANTS
+from repro.packets.dccp import DCCP_FORMAT
+from repro.packets.tcp import TCP_FORMAT
+from repro.statemachine.specs import dccp_state_machine, tcp_state_machine
+from repro.tcpstack.variants import TCP_VARIANTS
+
+
+def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", choices=("tcp", "dccp"), default="tcp")
+    parser.add_argument("--variant", default=None,
+                        help="implementation variant (default: linux-3.13 / linux-3.13-dccp)")
+
+
+def _resolve_variant(args: argparse.Namespace) -> str:
+    if args.variant is not None:
+        return args.variant
+    return "linux-3.13" if args.protocol == "tcp" else "linux-3.13-dccp"
+
+
+def cmd_variants(args: argparse.Namespace) -> int:
+    print("TCP variants:")
+    for name, variant in sorted(TCP_VARIANTS.items()):
+        print(f"  {name:14s} congestion={variant.congestion:10s} "
+              f"invalid-flags={variant.invalid_flags_policy:12s} "
+              f"close-wait={variant.close_wait_policy}")
+    print("DCCP variants:")
+    for name, variant in sorted(DCCP_VARIANTS.items()):
+        print(f"  {name:22s} request-type-check-first={variant.request_type_check_first}")
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    config = TestbedConfig(protocol=args.protocol, variant=_resolve_variant(args))
+    result = Executor(config).run(None)
+    print(f"target connection:    {result.target_bytes} bytes")
+    print(f"competing connection: {result.competing_bytes} bytes")
+    print(f"server1 census:       {result.server1_census or '{}'}")
+    print(f"observed (state, packet type) pairs:")
+    for state, ptype in result.observed_pairs:
+        print(f"  {state:12s} {ptype}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    config = TestbedConfig(protocol=args.protocol, variant=_resolve_variant(args))
+    controller = Controller(config, workers=args.workers, sample_every=args.sample_every)
+    started = time.time()
+
+    def progress(stage: str, done: int, total: int) -> None:
+        if done == total or done % 50 == 0:
+            sys.stderr.write(f"\r[{time.time() - started:6.1f}s] {stage}: {done}/{total}  ")
+            sys.stderr.flush()
+
+    result = controller.run_campaign(progress=progress)
+    sys.stderr.write("\n")
+    print(render_table1([result]))
+    print()
+    print(render_attack_clusters(result))
+    return 0
+
+
+def cmd_searchspace(args: argparse.Namespace) -> int:
+    if args.protocol == "tcp":
+        generator = StrategyGenerator("tcp", TCP_FORMAT, tcp_state_machine())
+    else:
+        generator = StrategyGenerator("dccp", DCCP_FORMAT, dccp_state_machine())
+    config = TestbedConfig(protocol=args.protocol, variant=_resolve_variant(args))
+    baseline_run = Executor(config).run(None)
+    print(render_searchspace(compare_injection_models(generator, baseline_run)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SNAKE: state-machine-guided attack discovery (DSN 2015 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("variants", help="list implementation variants")
+    sub.set_defaults(handler=cmd_variants)
+
+    sub = subparsers.add_parser("baseline", help="run the non-attack baseline")
+    _add_target_arguments(sub)
+    sub.set_defaults(handler=cmd_baseline)
+
+    sub = subparsers.add_parser("campaign", help="run a full attack-finding campaign")
+    _add_target_arguments(sub)
+    sub.add_argument("--sample-every", type=int, default=25,
+                     help="execute 1 in N strategies (1 = full sweep)")
+    sub.add_argument("--workers", type=int, default=1)
+    sub.set_defaults(handler=cmd_campaign)
+
+    sub = subparsers.add_parser("searchspace", help="Section VI-C comparison")
+    _add_target_arguments(sub)
+    sub.set_defaults(handler=cmd_searchspace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""SNAKE's core: the controller/executor architecture of Figure 2.
+
+* :mod:`repro.core.strategy` — the attack-strategy model: (protocol state,
+  packet type, basic attack, parameters) tuples plus off-path campaigns.
+* :mod:`repro.core.generation` — state-aware strategy generation from the
+  packet format and state machine, driven by feedback about the packet
+  types and states observed in the baseline run.
+* :mod:`repro.core.executor` — runs one test: builds the dumbbell testbed,
+  installs the proxy, runs the workload, collects throughput, the netstat
+  census, and proxy feedback.
+* :mod:`repro.core.detector` — flags attacks: >=50% throughput change
+  against the no-attack baseline, or server sockets not released.
+* :mod:`repro.core.classify` — post-processing into on-path attacks, false
+  positives, and true attack strategies (Section VI's accounting).
+* :mod:`repro.core.attacks_catalog` — clusters true strategies into the
+  named attacks of Table II.
+* :mod:`repro.core.controller` — ties it together: baseline, sweep,
+  repeat-to-confirm, classification, clustering.
+* :mod:`repro.core.baselines` — the send-packet-based and
+  time-interval-based injection baselines of Section VI-C.
+* :mod:`repro.core.parallel` — multiprocessing strategy execution (the
+  paper's parallel executors).
+* :mod:`repro.core.reporting` — Table I / Table II renderers.
+"""
+
+from repro.core.strategy import Strategy
+from repro.core.generation import GenerationConfig, StrategyGenerator
+from repro.core.executor import Executor, RunResult, TestbedConfig
+from repro.core.detector import AttackDetector, BaselineMetrics, Detection
+from repro.core.classify import CLASS_FALSE_POSITIVE, CLASS_ON_PATH, CLASS_TRUE, classify
+from repro.core.attacks_catalog import KNOWN_ATTACKS, match_known_attack
+from repro.core.controller import CampaignResult, Controller
+from repro.core.baselines import SearchSpaceComparison, compare_injection_models
+from repro.core.reporting import render_table1, render_table2
+
+__all__ = [
+    "Strategy",
+    "GenerationConfig",
+    "StrategyGenerator",
+    "Executor",
+    "RunResult",
+    "TestbedConfig",
+    "AttackDetector",
+    "BaselineMetrics",
+    "Detection",
+    "classify",
+    "CLASS_ON_PATH",
+    "CLASS_FALSE_POSITIVE",
+    "CLASS_TRUE",
+    "KNOWN_ATTACKS",
+    "match_known_attack",
+    "Controller",
+    "CampaignResult",
+    "SearchSpaceComparison",
+    "compare_injection_models",
+    "render_table1",
+    "render_table2",
+]

@@ -1,0 +1,215 @@
+"""Clustering true attack strategies into the named attacks of Table II.
+
+"Many of these strategies are functionally the same attack, just performed
+on a different field or with a different value.  Ultimately, we found a
+total of six unique attacks [TCP] / three attacks [DCCP]."
+
+Each catalog entry has a signature predicate over (strategy, detection);
+the first matching entry names the attack.  Strategies matching no entry
+cluster under a generic key so nothing is silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.detector import (
+    Detection,
+    EFFECT_COMPETING_DEGRADED,
+    EFFECT_CONNECTION_PREVENTED,
+    EFFECT_INVALID_FLAG_RESPONSE,
+    EFFECT_RESOURCE_EXHAUSTION,
+    EFFECT_TARGET_DEGRADED,
+    EFFECT_TARGET_INCREASED,
+)
+from repro.core.strategy import KIND_HITSEQWINDOW, KIND_INJECT, KIND_PACKET, Strategy
+
+TEARDOWN_STATES_TCP = frozenset(
+    {"ESTABLISHED", "FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "CLOSING", "LAST_ACK"}
+)
+
+
+@dataclass(frozen=True)
+class KnownAttack:
+    """One named attack from Table II."""
+
+    name: str
+    protocol: str
+    impact: str
+    #: whether the paper reports it as previously known
+    known_in_literature: str
+    matcher: Callable[[Strategy, Detection], bool]
+
+
+def _is_dup_ack_spoofing(s: Strategy, d: Detection) -> bool:
+    return (
+        s.kind == KIND_PACKET
+        and s.action == "duplicate"
+        and EFFECT_TARGET_INCREASED in d.effects
+    )
+
+
+def _is_dup_ack_rate_limiting(s: Strategy, d: Detection) -> bool:
+    return (
+        s.kind == KIND_PACKET
+        and s.action == "duplicate"
+        and (EFFECT_TARGET_DEGRADED in d.effects or EFFECT_CONNECTION_PREVENTED in d.effects)
+    )
+
+
+def _is_close_wait_exhaustion(s: Strategy, d: Detection) -> bool:
+    # Any manipulation that keeps the dying client's teardown packets (its
+    # RSTs, or whatever the tracker last saw them as) from landing leaves the
+    # server stuck behind undeliverable data -- all functionally the same
+    # CLOSE_WAIT attack.
+    return (
+        s.protocol == "tcp"
+        and EFFECT_RESOURCE_EXHAUSTION in d.effects
+        and s.kind == KIND_PACKET
+    )
+
+
+def _is_invalid_flags(s: Strategy, d: Detection) -> bool:
+    return (
+        s.protocol == "tcp"
+        and EFFECT_INVALID_FLAG_RESPONSE in d.effects
+    )
+
+
+def _is_reset_attack(s: Strategy, d: Detection) -> bool:
+    return (
+        s.protocol == "tcp"
+        and s.kind in (KIND_HITSEQWINDOW, KIND_INJECT)
+        and "RST" in str(s.params.get("packet_type", ""))
+        and (d.target_reset or d.competing_reset)
+    )
+
+
+def _is_syn_reset_attack(s: Strategy, d: Detection) -> bool:
+    ptype = str(s.params.get("packet_type", ""))
+    return (
+        s.protocol == "tcp"
+        and s.kind in (KIND_HITSEQWINDOW, KIND_INJECT)
+        and "SYN" in ptype
+        and "RST" not in ptype
+        and (d.target_reset or d.competing_reset)
+    )
+
+
+def _is_ack_mung(s: Strategy, d: Detection) -> bool:
+    # "Most of them work by invalidating or dropping the acknowledgments
+    # from the receiver" -- any manipulation of acknowledgment-bearing
+    # packets (including their ack-vector report) that starves the sender
+    # and/or wedges the close behind an undrainable queue
+    return (
+        s.protocol == "dccp"
+        and s.kind == KIND_PACKET
+        and s.packet_type in ("ACK", "SYNCACK", "DATAACK")
+        and (
+            EFFECT_RESOURCE_EXHAUSTION in d.effects
+            or EFFECT_TARGET_DEGRADED in d.effects
+            or EFFECT_CONNECTION_PREVENTED in d.effects
+        )
+    )
+
+
+def _is_inwindow_ack_seq_mod(s: Strategy, d: Detection) -> bool:
+    # the defining property: the modified sequence number stays *inside*
+    # the receiver's sequence-validity window (W = 100 packets, so upper
+    # edge +75) while running ahead of what the peer actually sent
+    if not (
+        s.protocol == "dccp"
+        and s.kind == KIND_PACKET
+        and s.action == "lie"
+        and s.packet_type in ("ACK", "DATAACK", "SYNCACK")
+        and s.params.get("field") == "seq"
+        and s.params.get("mode") == "add"
+    ):
+        return False
+    operand = int(s.params.get("operand", 0))
+    in_window = 0 < operand <= 75
+    return in_window and (
+        EFFECT_TARGET_DEGRADED in d.effects or EFFECT_CONNECTION_PREVENTED in d.effects
+    )
+
+
+def _is_request_termination(s: Strategy, d: Detection) -> bool:
+    if s.protocol != "dccp" or s.kind != KIND_INJECT:
+        return False
+    trigger = s.params.get("trigger", ())
+    in_request = len(trigger) == 3 and trigger[2] == "REQUEST"
+    ptype = str(s.params.get("packet_type", ""))
+    # RESPONSE with bad numbers is ignored; everything else -- including a
+    # blind RESET, accepted in REQUEST without sequence validation for the
+    # same type-check-first root cause -- terminates the connection
+    return (
+        in_request
+        and ptype != "RESPONSE"
+        and EFFECT_CONNECTION_PREVENTED in d.effects
+    )
+
+
+#: Table II, in the paper's order
+KNOWN_ATTACKS: Tuple[KnownAttack, ...] = (
+    KnownAttack(
+        "CLOSE_WAIT Resource Exhaustion", "tcp", "Server DoS", "Partially",
+        _is_close_wait_exhaustion,
+    ),
+    KnownAttack(
+        "Packets with Invalid Flags", "tcp", "Fingerprinting", "No",
+        _is_invalid_flags,
+    ),
+    KnownAttack(
+        "Duplicate Acknowledgment Spoofing", "tcp", "Poor Fairness", "Yes",
+        _is_dup_ack_spoofing,
+    ),
+    KnownAttack(
+        "Reset Attack", "tcp", "Client DoS", "Yes",
+        _is_reset_attack,
+    ),
+    KnownAttack(
+        "SYN-Reset Attack", "tcp", "Client DoS", "Yes",
+        _is_syn_reset_attack,
+    ),
+    KnownAttack(
+        "Duplicate Acknowledgment Rate Limiting", "tcp", "Throughput Degradation", "No",
+        _is_dup_ack_rate_limiting,
+    ),
+    KnownAttack(
+        "In-window Acknowledgment Sequence Number Modification", "dccp",
+        "Throughput Degradation", "No",
+        _is_inwindow_ack_seq_mod,
+    ),
+    KnownAttack(
+        "Acknowledgment Mung Resource Exhaustion", "dccp", "Server DoS", "No",
+        _is_ack_mung,
+    ),
+    KnownAttack(
+        "REQUEST Connection Termination", "dccp", "Client DoS", "No",
+        _is_request_termination,
+    ),
+)
+
+
+def match_known_attack(strategy: Strategy, detection: Detection) -> Optional[KnownAttack]:
+    """First catalog entry whose signature matches, else None."""
+    for attack in KNOWN_ATTACKS:
+        if attack.protocol == strategy.protocol and attack.matcher(strategy, detection):
+            return attack
+    return None
+
+
+def cluster_attacks(
+    true_strategies: List[Tuple[Strategy, Detection]]
+) -> Dict[str, List[Tuple[Strategy, Detection]]]:
+    """Group true strategies by attack name (generic key when unmatched)."""
+    clusters: Dict[str, List[Tuple[Strategy, Detection]]] = {}
+    for strategy, detection in true_strategies:
+        attack = match_known_attack(strategy, detection)
+        if attack is not None:
+            key = attack.name
+        else:
+            key = f"uncataloged: {strategy.kind}/{strategy.action or strategy.params.get('packet_type')}"
+        clusters.setdefault(key, []).append((strategy, detection))
+    return clusters

@@ -1,0 +1,133 @@
+"""Post-processing flagged strategies (Section VI's accounting).
+
+The paper triages the flagged strategies into three buckets before counting
+"true attack strategies":
+
+* **On-path attacks** — "strategies like modifying the source or destination
+  ports or the header size do prevent a connection from being established,
+  but these strategies are not possible for off-path attackers and a
+  malicious client could simply not initiate a connection."  We classify a
+  flagged packet-manipulation strategy as on-path when its only achievement
+  is harming the attacker's *own* connection (stalling or preventing it) in
+  a way any on-path party trivially could: mangling addressing/structural
+  fields, or dropping/withholding/corrupting its own traffic.  Duplication
+  is exempt — duplicate-ACK effects are reproducible by an off-path spoofer
+  and are exactly the two duplicate-acknowledgment attacks the paper kept.
+* **False positives** — hitseqwindow strategies that slowed the target
+  purely through injected packet volume: "we manually inspect ... and
+  identify false positives when the reduced performance is caused by the
+  number of packets injected, and not by hitting the target sequence
+  window."  Mechanically: a hitseqwindow strategy whose only effects are
+  throughput dips with *no* connection actually reset or torn down.
+* **True attack strategies** — everything else.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.detector import (
+    Detection,
+    EFFECT_COMPETING_DEGRADED,
+    EFFECT_COMPETING_INCREASED,
+    EFFECT_CONNECTION_PREVENTED,
+    EFFECT_INVALID_FLAG_RESPONSE,
+    EFFECT_RESOURCE_EXHAUSTION,
+    EFFECT_TARGET_DEGRADED,
+    EFFECT_TARGET_INCREASED,
+)
+from repro.core.strategy import KIND_HITSEQWINDOW, KIND_INJECT, KIND_PACKET, Strategy
+
+CLASS_ON_PATH = "on-path"
+CLASS_FALSE_POSITIVE = "false-positive"
+CLASS_TRUE = "true-attack"
+
+#: header fields whose modification is equivalent to breaking your own
+#: connection at the plumbing level (ports, header structure)
+STRUCTURAL_FIELDS = frozenset(
+    {"sport", "dport", "data_offset", "reserved", "cscov", "ccval", "x"}
+)
+
+#: effects that only concern the attacker's own (target) connection
+SELF_HARM_EFFECTS = frozenset({EFFECT_TARGET_DEGRADED, EFFECT_CONNECTION_PREVENTED})
+
+#: effects that show impact beyond the attacker's own connection health
+INTERESTING_EFFECTS = frozenset(
+    {
+        EFFECT_TARGET_INCREASED,
+        EFFECT_COMPETING_DEGRADED,
+        EFFECT_COMPETING_INCREASED,
+        EFFECT_RESOURCE_EXHAUSTION,
+        EFFECT_INVALID_FLAG_RESPONSE,
+    }
+)
+
+
+#: throughput-shift effects that injection load can produce on its own
+THROUGHPUT_EFFECTS = frozenset(
+    {
+        EFFECT_TARGET_DEGRADED,
+        EFFECT_TARGET_INCREASED,
+        EFFECT_COMPETING_DEGRADED,
+        EFFECT_COMPETING_INCREASED,
+        EFFECT_CONNECTION_PREVENTED,
+    }
+)
+
+
+def classify(strategy: Strategy, detection: Detection) -> str:
+    """Bucket one flagged strategy."""
+    effects = set(detection.effects)
+
+    if strategy.kind in (KIND_HITSEQWINDOW, KIND_INJECT):
+        # did a forged packet actually land (reset/tear a connection), or
+        # was the throughput shift just injection load on the links?
+        if detection.target_reset or detection.competing_reset:
+            return CLASS_TRUE
+        if effects - THROUGHPUT_EFFECTS:
+            # exhaustion or invalid-flag responses: not explainable by load
+            return CLASS_TRUE
+        if strategy.kind == KIND_INJECT and effects == {EFFECT_CONNECTION_PREVENTED}:
+            # starving the handshake off-path is a real attack (the DCCP
+            # REQUEST termination lands here: the reset happens before the
+            # connection exists, so no reset callback fires)
+            return CLASS_TRUE
+        return CLASS_FALSE_POSITIVE
+
+    if effects & INTERESTING_EFFECTS:
+        # fairness gains, competing-connection impact, socket exhaustion and
+        # implementation-revealing responses are never dismissed
+        return CLASS_TRUE
+
+    # packet-manipulation strategies whose only effect is harming the
+    # attacker's own connection
+    if effects and effects <= SELF_HARM_EFFECTS:
+        if strategy.action == "duplicate":
+            # duplicate-ACK behaviours are off-path-reproducible (spoofed
+            # duplicates); the paper kept them as true attacks
+            return CLASS_TRUE
+        return CLASS_ON_PATH
+
+    return CLASS_TRUE
+
+
+def partition(
+    flagged: List[Tuple[Strategy, Detection]]
+) -> Tuple[
+    List[Tuple[Strategy, Detection]],
+    List[Tuple[Strategy, Detection]],
+    List[Tuple[Strategy, Detection]],
+]:
+    """Split flagged strategies into (on-path, false positives, true)."""
+    on_path: List[Tuple[Strategy, Detection]] = []
+    false_positives: List[Tuple[Strategy, Detection]] = []
+    true_attacks: List[Tuple[Strategy, Detection]] = []
+    for strategy, detection in flagged:
+        bucket = classify(strategy, detection)
+        if bucket == CLASS_ON_PATH:
+            on_path.append((strategy, detection))
+        elif bucket == CLASS_FALSE_POSITIVE:
+            false_positives.append((strategy, detection))
+        else:
+            true_attacks.append((strategy, detection))
+    return on_path, false_positives, true_attacks

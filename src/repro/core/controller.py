@@ -1,0 +1,169 @@
+"""The controller: baseline, sweep, confirm, classify, cluster.
+
+Drives a full attack-finding campaign against one implementation, exactly
+following Section V-A: run a non-attack test, generate strategies from the
+observed packet types and protocol states, execute each strategy, compare
+its metrics with the baseline, re-test apparent attacks to ensure
+repeatability, then post-process into on-path attacks, false positives,
+true attack strategies, and unique named attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.attacks_catalog import cluster_attacks
+from repro.core.classify import partition
+from repro.core.detector import AttackDetector, BaselineMetrics, Detection
+from repro.core.executor import Executor, RunResult, TestbedConfig
+from repro.core.generation import GenerationConfig, StrategyGenerator
+from repro.core.parallel import run_strategies
+from repro.core.strategy import Strategy
+from repro.packets.dccp import DCCP_FORMAT
+from repro.packets.tcp import TCP_FORMAT
+from repro.statemachine.specs import dccp_state_machine, tcp_state_machine
+
+BASELINE_SEEDS = (101, 202)
+CONFIRM_SEED_OFFSET = 5000
+
+
+@dataclass
+class CampaignResult:
+    """Everything Table I needs for one implementation, plus the clusters."""
+
+    protocol: str
+    variant: str
+    strategies_generated: int
+    strategies_tried: int
+    flagged: List[Tuple[Strategy, Detection]] = field(default_factory=list)
+    on_path: List[Tuple[Strategy, Detection]] = field(default_factory=list)
+    false_positives: List[Tuple[Strategy, Detection]] = field(default_factory=list)
+    true_strategies: List[Tuple[Strategy, Detection]] = field(default_factory=list)
+    attack_clusters: Dict[str, List[Tuple[Strategy, Detection]]] = field(default_factory=dict)
+    baseline: Optional[BaselineMetrics] = None
+    sampled: bool = False
+
+    @property
+    def unique_attacks(self) -> List[str]:
+        return [name for name in self.attack_clusters if not name.startswith("uncataloged")]
+
+    def table1_row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol.upper(),
+            "implementation": self.variant,
+            "strategies_tried": self.strategies_tried,
+            "attack_strategies_found": len(self.flagged),
+            "on_path": len(self.on_path),
+            "false_positives": len(self.false_positives),
+            "true_attack_strategies": len(self.true_strategies),
+            "true_attacks": len(self.unique_attacks),
+        }
+
+
+class Controller:
+    """Runs one campaign against one implementation."""
+
+    def __init__(
+        self,
+        config: TestbedConfig,
+        generation: Optional[GenerationConfig] = None,
+        workers: Optional[int] = None,
+        confirm: bool = True,
+        sample_every: int = 1,
+    ):
+        """``sample_every`` > 1 executes a deterministic 1-in-N stratified
+        subsample of the generated strategies (the full enumeration count is
+        still reported as ``strategies_generated``)."""
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.config = config
+        self.generation = generation if generation is not None else GenerationConfig()
+        self.workers = workers
+        self.confirm = confirm
+        self.sample_every = sample_every
+        self.executor = Executor(config)
+
+    # ------------------------------------------------------------------
+    def make_generator(self) -> StrategyGenerator:
+        generation = self.generation
+        if self.config.protocol == "tcp":
+            # the off-path attacker knows the target OS's default receive
+            # window (nmap-style fingerprinting); sweep strides follow it
+            from dataclasses import replace
+            from repro.tcpstack.variants import get_variant
+
+            generation = replace(
+                generation, receive_window=get_variant(self.config.variant).receive_window
+            )
+            return StrategyGenerator("tcp", TCP_FORMAT, tcp_state_machine(), generation)
+        return StrategyGenerator("dccp", DCCP_FORMAT, dccp_state_machine(), generation)
+
+    # ------------------------------------------------------------------
+    def run_baseline(self) -> Tuple[BaselineMetrics, List[RunResult]]:
+        runs = [self.executor.run(None, seed=seed) for seed in BASELINE_SEEDS]
+        return BaselineMetrics.from_runs(runs), runs
+
+    # ------------------------------------------------------------------
+    def run_campaign(
+        self, progress: Optional[Callable[[str, int, int], None]] = None
+    ) -> CampaignResult:
+        def report(stage: str, done: int, total: int) -> None:
+            if progress is not None:
+                progress(stage, done, total)
+
+        baseline, _ = self.run_baseline()
+        report("baseline", 1, 1)
+
+        generator = self.make_generator()
+        strategies = generator.generate(baseline.observed_pairs)
+        generated = len(strategies)
+        if self.sample_every > 1:
+            strategies = strategies[:: self.sample_every]
+
+        detector = AttackDetector(baseline)
+        results = run_strategies(
+            self.config,
+            strategies,
+            workers=self.workers,
+            progress=lambda done, total: report("sweep", done, total),
+        )
+        candidates: List[Tuple[Strategy, Detection]] = []
+        for strategy, run in zip(strategies, results):
+            detection = detector.evaluate(run)
+            if detection.is_attack:
+                candidates.append((strategy, detection))
+
+        flagged: List[Tuple[Strategy, Detection]] = []
+        if self.confirm and candidates:
+            confirm_results = run_strategies(
+                self.config,
+                [strategy for strategy, _ in candidates],
+                workers=self.workers,
+                seed=self.config.seed + CONFIRM_SEED_OFFSET,
+                progress=lambda done, total: report("confirm", done, total),
+            )
+            for (strategy, first), rerun in zip(candidates, confirm_results):
+                second = detector.evaluate(rerun)
+                confirmed = detector.confirm(first, second)
+                if confirmed.is_attack:
+                    flagged.append((strategy, confirmed))
+        else:
+            flagged = candidates
+
+        on_path, false_positives, true_strategies = partition(flagged)
+        clusters = cluster_attacks(true_strategies)
+
+        return CampaignResult(
+            protocol=self.config.protocol,
+            variant=self.config.variant,
+            strategies_generated=generated,
+            strategies_tried=len(strategies),
+            flagged=flagged,
+            on_path=on_path,
+            false_positives=false_positives,
+            true_strategies=true_strategies,
+            attack_clusters=clusters,
+            baseline=baseline,
+            sampled=self.sample_every > 1,
+        )

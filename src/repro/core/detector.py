@@ -1,0 +1,159 @@
+"""Attack detection (Section VI's success criterion).
+
+"We define successful attacks as strategies that result in an increase or
+decrease in achieved throughput of at least 50% compared to the non-attack
+case or that cause the server-side socket to not be released normally after
+the connection is closed."
+
+The detector compares one run's metrics against baseline metrics from
+non-attack runs and emits a :class:`Detection` listing which effects fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.executor import RunResult
+
+# effect labels
+EFFECT_TARGET_DEGRADED = "target-throughput-degraded"
+EFFECT_TARGET_INCREASED = "target-throughput-increased"
+EFFECT_COMPETING_DEGRADED = "competing-throughput-degraded"
+EFFECT_COMPETING_INCREASED = "competing-throughput-increased"
+EFFECT_RESOURCE_EXHAUSTION = "server-socket-not-released"
+EFFECT_CONNECTION_PREVENTED = "connection-establishment-prevented"
+EFFECT_INVALID_FLAG_RESPONSE = "responds-to-invalid-flags"
+
+ALL_EFFECTS = (
+    EFFECT_TARGET_DEGRADED,
+    EFFECT_TARGET_INCREASED,
+    EFFECT_COMPETING_DEGRADED,
+    EFFECT_COMPETING_INCREASED,
+    EFFECT_RESOURCE_EXHAUSTION,
+    EFFECT_CONNECTION_PREVENTED,
+    EFFECT_INVALID_FLAG_RESPONSE,
+)
+
+
+@dataclass
+class BaselineMetrics:
+    """Averages from the non-attack runs the controller performed first."""
+
+    target_bytes: float
+    competing_bytes: float
+    server1_lingering: float
+    server2_lingering: float
+    observed_pairs: tuple
+
+    @classmethod
+    def from_runs(cls, runs: Sequence[RunResult]) -> "BaselineMetrics":
+        if not runs:
+            raise ValueError("need at least one baseline run")
+        n = float(len(runs))
+        pairs = set()
+        for run in runs:
+            pairs.update(run.observed_pairs)
+        return cls(
+            target_bytes=sum(r.target_bytes for r in runs) / n,
+            competing_bytes=sum(r.competing_bytes for r in runs) / n,
+            server1_lingering=sum(r.server1_lingering for r in runs) / n,
+            server2_lingering=sum(r.server2_lingering for r in runs) / n,
+            observed_pairs=tuple(sorted(pairs)),
+        )
+
+
+@dataclass
+class Detection:
+    """A flagged strategy: which effects fired, with magnitudes."""
+
+    strategy_id: Optional[int]
+    effects: List[str] = field(default_factory=list)
+    target_ratio: float = 1.0
+    competing_ratio: float = 1.0
+    invalid_response_rate: float = 0.0
+    lingering_delta: float = 0.0
+    #: classification metadata (not attack-triggering by themselves)
+    target_reset: bool = False
+    competing_reset: bool = False
+
+    @property
+    def is_attack(self) -> bool:
+        return bool(self.effects)
+
+
+class AttackDetector:
+    """Applies the paper's thresholds to one run vs. the baseline."""
+
+    def __init__(
+        self,
+        baseline: BaselineMetrics,
+        threshold: float = 0.5,
+        invalid_response_threshold: float = 0.25,
+    ):
+        self.baseline = baseline
+        self.threshold = threshold
+        self.invalid_response_threshold = invalid_response_threshold
+
+    # ------------------------------------------------------------------
+    def evaluate(self, run: RunResult) -> Detection:
+        base = self.baseline
+        detection = Detection(strategy_id=run.strategy_id)
+        effects = detection.effects
+
+        target_ratio = run.target_bytes / base.target_bytes if base.target_bytes else 1.0
+        competing_ratio = (
+            run.competing_bytes / base.competing_bytes if base.competing_bytes else 1.0
+        )
+        detection.target_ratio = target_ratio
+        detection.competing_ratio = competing_ratio
+        detection.invalid_response_rate = run.invalid_response_rate
+        detection.lingering_delta = (
+            (run.server1_lingering - base.server1_lingering)
+            + (run.server2_lingering - base.server2_lingering)
+        )
+
+        if base.target_bytes > 0 and run.target_bytes < 0.02 * base.target_bytes:
+            effects.append(EFFECT_CONNECTION_PREVENTED)
+        elif target_ratio <= 1.0 - self.threshold:
+            effects.append(EFFECT_TARGET_DEGRADED)
+        if target_ratio >= 1.0 + self.threshold:
+            effects.append(EFFECT_TARGET_INCREASED)
+        if competing_ratio <= 1.0 - self.threshold:
+            effects.append(EFFECT_COMPETING_DEGRADED)
+        if competing_ratio >= 1.0 + self.threshold:
+            effects.append(EFFECT_COMPETING_INCREASED)
+        if detection.lingering_delta > 0:
+            effects.append(EFFECT_RESOURCE_EXHAUSTION)
+        detection.target_reset = run.target_reset
+        # a torn-down competing connection is visible either to its client
+        # (reset callback) or in the server's socket census (the socket that
+        # persists through every baseline run has vanished)
+        detection.competing_reset = run.competing_reset or (
+            run.server2_lingering < base.server2_lingering
+        )
+        if (
+            run.invalid_forwarded >= 3
+            and run.invalid_response_rate >= self.invalid_response_threshold
+        ):
+            effects.append(EFFECT_INVALID_FLAG_RESPONSE)
+        return detection
+
+    # ------------------------------------------------------------------
+    def confirm(self, first: Detection, second: Detection) -> Detection:
+        """Repeat-to-confirm: keep only effects that reproduced.
+
+        "Attack strategies that appear successful are tested a second time
+        to ensure repeatability."
+        """
+        confirmed = Detection(
+            strategy_id=first.strategy_id,
+            effects=[e for e in first.effects if e in second.effects],
+            target_ratio=(first.target_ratio + second.target_ratio) / 2,
+            competing_ratio=(first.competing_ratio + second.competing_ratio) / 2,
+            invalid_response_rate=min(first.invalid_response_rate, second.invalid_response_rate),
+            lingering_delta=min(first.lingering_delta, second.lingering_delta),
+            target_reset=first.target_reset and second.target_reset,
+            competing_reset=first.competing_reset and second.competing_reset,
+        )
+        return confirmed

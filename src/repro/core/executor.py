@@ -1,0 +1,243 @@
+"""The executor: runs one attack strategy in a fresh emulated testbed.
+
+Mirrors the paper's executor, which "initializes the virtual machines from
+snapshots, starts the network emulator, configures the attack proxy, and
+starts the test", then reports performance data and a server socket census
+back to the controller.
+
+The testbed is the Figure 3 dumbbell.  For TCP the workload is a large HTTP
+download on both client/server pairs, with the target client's downloader
+killed partway through the run (the paper's tests end by tearing the
+client down, which is what makes the CLOSE_WAIT family of attacks
+observable through netstat).  For DCCP it is an iperf-like flood from each
+client to its server, with the target sender finishing (closing) partway
+through the run.
+
+Scaling note: tests last seconds instead of the paper's one minute, over a
+4 Mbit/s bottleneck instead of 100 Mbit/s.  The endpoints' initial-sequence-
+number space is scaled down in the same proportion (``iss_space``), so
+sequence-space sweep attacks keep the same relative economics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.apps.bulk import BulkClient, BulkServer
+from repro.apps.iperf import IperfSender, IperfServer
+from repro.core.strategy import KIND_HITSEQWINDOW, KIND_INJECT, KIND_PACKET, Strategy
+from repro.dccpstack.endpoint import DccpEndpoint
+from repro.dccpstack.variants import get_dccp_variant
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import Dumbbell, DumbbellConfig
+from repro.packets.dccp import dccp_packet_type
+from repro.packets.tcp import tcp_packet_type
+from repro.proxy.attacks import make_packet_action
+from repro.proxy.combo import make_combo_action
+from repro.proxy.injection import HitSeqWindowCampaign, InjectCampaign
+from repro.proxy.proxy import AttackProxy
+from repro.statemachine.specs import dccp_state_machine, tcp_state_machine
+from repro.statemachine.tracker import StateTracker
+from repro.tcpstack.endpoint import TcpEndpoint
+from repro.tcpstack.variants import get_variant
+
+
+@dataclass
+class TestbedConfig:
+    """Everything needed to reconstruct a test run (picklable)."""
+
+    protocol: str = "tcp"  # "tcp" | "dccp"
+    variant: str = "linux-3.13"
+    duration: float = 10.0
+    #: when the target client is torn down (killed downloader for TCP,
+    #: finished iperf sender for DCCP)
+    client_stop_at: float = 3.0
+    dccp_client_stop_at: float = 6.0
+    file_size: int = 100_000_000
+    seed: int = 7
+    iss_space: int = 1 << 24
+    server_port: int = 80
+    dccp_server_port: int = 5001
+
+    def stop_time(self) -> float:
+        return self.client_stop_at if self.protocol == "tcp" else self.dccp_client_stop_at
+
+
+# keep pytest from trying to collect the dataclass as a test class
+TestbedConfig.__test__ = False  # type: ignore[attr-defined]
+
+
+@dataclass
+class RunResult:
+    """What one test run reports back to the controller (picklable)."""
+
+    strategy_id: Optional[int]
+    protocol: str
+    variant: str
+    duration: float
+    target_bytes: int = 0
+    competing_bytes: int = 0
+    target_connected: bool = False
+    target_reset: bool = False
+    competing_reset: bool = False
+    #: sockets still holding state at the servers after the test
+    server1_lingering: int = 0
+    server2_lingering: int = 0
+    server1_census: Dict[str, int] = field(default_factory=dict)
+    server2_census: Dict[str, int] = field(default_factory=dict)
+    #: proxy feedback
+    invalid_forwarded: int = 0
+    invalid_responses: int = 0
+    packets_injected: int = 0
+    packets_matched: int = 0
+    packets_observed: int = 0
+    observed_pairs: Tuple[Tuple[str, str], ...] = ()
+    events_processed: int = 0
+
+    @property
+    def invalid_response_rate(self) -> float:
+        if self.invalid_forwarded == 0:
+            return 0.0
+        return self.invalid_responses / self.invalid_forwarded
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class Executor:
+    """Runs strategies in fresh testbeds."""
+
+    def __init__(self, config: TestbedConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def run(self, strategy: Optional[Strategy] = None, seed: Optional[int] = None) -> RunResult:
+        """Execute one test (no strategy = the non-attack baseline run)."""
+        if self.config.protocol == "tcp":
+            return self._run_tcp(strategy, seed)
+        if self.config.protocol == "dccp":
+            return self._run_dccp(strategy, seed)
+        raise ValueError(f"unknown protocol {self.config.protocol!r}")
+
+    # ------------------------------------------------------------------
+    def _install_strategy(self, proxy: AttackProxy, strategy: Optional[Strategy]) -> None:
+        if strategy is None:
+            return
+        if strategy.kind == KIND_PACKET:
+            if strategy.action == "combo":
+                action = make_combo_action(strategy.params["steps"])
+            else:
+                action = make_packet_action(strategy.action, **strategy.params)
+            proxy.add_packet_rule(strategy.state, strategy.packet_type, action)
+        elif strategy.kind == KIND_INJECT:
+            params = dict(strategy.params)
+            params["trigger"] = tuple(params["trigger"])
+            proxy.add_campaign(InjectCampaign(strategy.protocol, **params))
+        elif strategy.kind == KIND_HITSEQWINDOW:
+            params = dict(strategy.params)
+            params["trigger"] = tuple(params["trigger"])
+            proxy.add_campaign(HitSeqWindowCampaign(strategy.protocol, **params))
+        else:  # pragma: no cover - Strategy validates kinds
+            raise ValueError(f"unknown strategy kind {strategy.kind!r}")
+
+    # ------------------------------------------------------------------
+    def _run_tcp(self, strategy: Optional[Strategy], seed: Optional[int]) -> RunResult:
+        cfg = self.config
+        sim = Simulator(seed=cfg.seed if seed is None else seed)
+        dumbbell = Dumbbell(sim)
+        variant = get_variant(cfg.variant)
+        endpoints = {
+            name: TcpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
+            for name in ("client1", "client2", "server1", "server2")
+        }
+        BulkServer(endpoints["server1"], cfg.server_port, cfg.file_size)
+        BulkServer(endpoints["server2"], cfg.server_port, cfg.file_size)
+        tracker = StateTracker(tcp_state_machine(), "client1", "server1", tcp_packet_type)
+        proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "tcp", tracker)
+        self._install_strategy(proxy, strategy)
+        target = BulkClient(endpoints["client1"], "server1", cfg.server_port)
+        competing = BulkClient(endpoints["client2"], "server2", cfg.server_port)
+
+        def kill_target() -> None:
+            # the downloader is torn down at the end of its test slot, like
+            # wget being killed when the paper's executor stops a run
+            if target.conn.state not in ("CLOSED", "TIME_WAIT"):
+                target.conn.app_exit()
+
+        sim.schedule_at(cfg.client_stop_at, kill_target)
+        sim.run(until=cfg.duration)
+
+        report = proxy.report()
+        return RunResult(
+            strategy_id=strategy.strategy_id if strategy else None,
+            protocol="tcp",
+            variant=cfg.variant,
+            duration=cfg.duration,
+            target_bytes=target.bytes_received,
+            competing_bytes=competing.bytes_received,
+            target_connected=target.connected,
+            # only resets *before* the scheduled client teardown are
+            # attack-relevant; the kill itself always ends in resets
+            target_reset=target.reset_at is not None and target.reset_at < cfg.client_stop_at,
+            competing_reset=competing.reset,
+            server1_lingering=len(endpoints["server1"].lingering_sockets()),
+            server2_lingering=len(endpoints["server2"].lingering_sockets()),
+            server1_census=dict(endpoints["server1"].census()),
+            server2_census=dict(endpoints["server2"].census()),
+            invalid_forwarded=report.invalid_forwarded,
+            invalid_responses=report.invalid_responses,
+            packets_injected=report.injected,
+            packets_matched=report.matched,
+            packets_observed=tracker.packets_observed,
+            observed_pairs=tuple(sorted(report.observed_pairs)),
+            events_processed=sim.events_processed,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_dccp(self, strategy: Optional[Strategy], seed: Optional[int]) -> RunResult:
+        cfg = self.config
+        sim = Simulator(seed=cfg.seed if seed is None else seed)
+        dumbbell = Dumbbell(sim)
+        variant = get_dccp_variant(cfg.variant)
+        endpoints = {
+            name: DccpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
+            for name in ("client1", "client2", "server1", "server2")
+        }
+        server1 = IperfServer(endpoints["server1"], cfg.dccp_server_port)
+        server2 = IperfServer(endpoints["server2"], cfg.dccp_server_port)
+        tracker = StateTracker(dccp_state_machine(), "client1", "server1", dccp_packet_type)
+        proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "dccp", tracker)
+        self._install_strategy(proxy, strategy)
+        sender1 = IperfSender(
+            endpoints["client1"], "server1", cfg.dccp_server_port, stop_at=cfg.dccp_client_stop_at
+        )
+        sender2 = IperfSender(
+            endpoints["client2"], "server2", cfg.dccp_server_port, stop_at=cfg.duration + 1
+        )
+        sim.run(until=cfg.duration)
+
+        report = proxy.report()
+        return RunResult(
+            strategy_id=strategy.strategy_id if strategy else None,
+            protocol="dccp",
+            variant=cfg.variant,
+            duration=cfg.duration,
+            target_bytes=server1.total_bytes,
+            competing_bytes=server2.total_bytes,
+            target_connected=sender1.connected,
+            target_reset=sender1.reset,
+            competing_reset=sender2.reset,
+            # (DCCP's clean close never fires on_reset; any reset is abnormal)
+            server1_lingering=len(endpoints["server1"].lingering_sockets()),
+            server2_lingering=len(endpoints["server2"].lingering_sockets()),
+            server1_census=dict(endpoints["server1"].census()),
+            server2_census=dict(endpoints["server2"].census()),
+            invalid_forwarded=report.invalid_forwarded,
+            invalid_responses=report.invalid_responses,
+            packets_injected=report.injected,
+            packets_matched=report.matched,
+            packets_observed=tracker.packets_observed,
+            observed_pairs=tuple(sorted(report.observed_pairs)),
+            events_processed=sim.events_processed,
+        )

@@ -1,0 +1,78 @@
+"""Parallel strategy execution (the paper's executor pool).
+
+"SNAKE uses parallelism to run multiple executors concurrently ... this
+becomes a highly parallel problem, with linear speedup limited only by the
+amount of processing power that can be thrown at the problem."
+
+Strategies and testbed configs are plain dataclasses, so they cross process
+boundaries the same way the paper's controller ships strategies to executor
+machines over TCP.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.executor import Executor, RunResult, TestbedConfig
+from repro.core.strategy import Strategy
+
+#: (config, strategy, seed) -> worker input
+WorkItem = Tuple[TestbedConfig, Optional[Strategy], Optional[int]]
+
+
+def _execute_one(item: WorkItem) -> RunResult:
+    """Top-level worker function (must be picklable)."""
+    config, strategy, seed = item
+    return Executor(config).run(strategy, seed=seed)
+
+
+def default_worker_count() -> int:
+    """The paper ran one executor per six hyperthreads; simulator runs are
+    pure CPU, so we default to cpu_count - 1 (min 1)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_strategies(
+    config: TestbedConfig,
+    strategies: Sequence[Optional[Strategy]],
+    workers: Optional[int] = None,
+    seed: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    chunksize: int = 8,
+) -> List[RunResult]:
+    """Run every strategy, in parallel when ``workers`` allows it.
+
+    Results come back in input order.  ``progress(done, total)`` is invoked
+    from the parent as results arrive.
+    """
+    items: List[WorkItem] = [(config, strategy, seed) for strategy in strategies]
+    total = len(items)
+    if workers is None:
+        workers = default_worker_count()
+    if workers <= 1 or total <= 1:
+        results = []
+        for i, item in enumerate(items):
+            results.append(_execute_one(item))
+            if progress is not None:
+                progress(i + 1, total)
+        return results
+
+    context = multiprocessing.get_context("fork" if os.name == "posix" else "spawn")
+    results: List[Optional[RunResult]] = [None] * total
+    with context.Pool(processes=workers) as pool:
+        for done, (index, result) in enumerate(
+            pool.imap_unordered(
+                _execute_indexed, [(i, item) for i, item in enumerate(items)], chunksize=chunksize
+            )
+        ):
+            results[index] = result
+            if progress is not None:
+                progress(done + 1, total)
+    return [r for r in results if r is not None]
+
+
+def _execute_indexed(indexed: Tuple[int, WorkItem]) -> Tuple[int, RunResult]:
+    index, item = indexed
+    return index, _execute_one(item)

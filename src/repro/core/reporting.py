@@ -1,0 +1,107 @@
+"""ASCII renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.attacks_catalog import KNOWN_ATTACKS
+from repro.core.baselines import SearchSpaceComparison
+from repro.core.controller import CampaignResult
+
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    widths = [len(h) for h in headers]
+    cells = [[str(value) for value in row] for row in rows]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    divider = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), divider]
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(results: Iterable[CampaignResult]) -> str:
+    """Table I: summary of SNAKE results, one row per implementation."""
+    headers = (
+        "Protocol",
+        "Implementation",
+        "Strategies Tried",
+        "Attack Strategies Found",
+        "On-path Attacks",
+        "False Positives",
+        "True Attack Strategies",
+        "True Attacks",
+    )
+    rows: List[List[object]] = []
+    for result in results:
+        row = result.table1_row()
+        rows.append([
+            row["protocol"],
+            row["implementation"] + (" (sampled)" if result.sampled else ""),
+            row["strategies_tried"],
+            row["attack_strategies_found"],
+            row["on_path"],
+            row["false_positives"],
+            row["true_attack_strategies"],
+            row["true_attacks"],
+        ])
+    return _render_table(headers, rows)
+
+
+def render_table2(vulnerable: Mapping[str, Sequence[str]]) -> str:
+    """Table II: discovered attacks x vulnerable implementations.
+
+    ``vulnerable`` maps attack name -> list of implementation names found
+    vulnerable (empty list = attack not reproduced).
+    """
+    headers = ("Protocol", "Attack", "Impact", "Known", "Found On")
+    rows: List[List[object]] = []
+    for attack in KNOWN_ATTACKS:
+        found = vulnerable.get(attack.name, [])
+        rows.append([
+            attack.protocol.upper(),
+            attack.name,
+            attack.impact,
+            attack.known_in_literature,
+            ", ".join(found) if found else "-",
+        ])
+    return _render_table(headers, rows)
+
+
+def render_searchspace(comparison: SearchSpaceComparison) -> str:
+    """Section VI-C comparison table."""
+    headers = (
+        "Injection model",
+        "Strategies",
+        "CPU-hours @2min/test",
+        "Wall-clock @5 executors",
+        "Off-path attacks",
+        "Note",
+    )
+    rows: List[List[object]] = []
+    for cost in comparison.rows():
+        if cost.wall_days_at_paper_parallelism >= 365:
+            wall = f"{cost.wall_years:,.0f} years"
+        else:
+            wall = f"{cost.wall_days_at_paper_parallelism:,.1f} days"
+        rows.append([
+            cost.model,
+            f"{cost.strategies:,}",
+            f"{cost.cpu_hours:,.0f}",
+            wall,
+            "yes" if cost.supports_offpath else "NO",
+            cost.note,
+        ])
+    return _render_table(headers, rows)
+
+
+def render_attack_clusters(result: CampaignResult) -> str:
+    """Per-campaign cluster summary (which strategies map to which attack)."""
+    headers = ("Attack", "Strategies", "Example")
+    rows: List[List[object]] = []
+    for name, members in sorted(result.attack_clusters.items()):
+        example = members[0][0].describe() if members else "-"
+        rows.append([name, len(members), example])
+    return _render_table(headers, rows)

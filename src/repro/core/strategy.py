@@ -1,0 +1,68 @@
+"""The attack-strategy model.
+
+A strategy is what the controller hands an executor: one malicious behaviour
+to apply for one test run.  Three kinds exist, mirroring Section IV:
+
+* ``packet`` — apply a basic attack (drop/duplicate/delay/batch/reflect/lie)
+  to every packet of ``packet_type`` whose sender is in ``state``;
+* ``inject`` — forge ``count`` packets of one type at a trigger point;
+* ``hitseqwindow`` — sweep forged packets across the sequence space at
+  receive-window intervals.
+
+Strategies are plain data (picklable) so they can cross process boundaries
+to parallel executors, exactly like the paper's controller ships strategies
+to executor machines over TCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+KIND_PACKET = "packet"
+KIND_INJECT = "inject"
+KIND_HITSEQWINDOW = "hitseqwindow"
+
+KINDS = (KIND_PACKET, KIND_INJECT, KIND_HITSEQWINDOW)
+
+
+@dataclass
+class Strategy:
+    """One attack strategy."""
+
+    strategy_id: int
+    protocol: str  # "tcp" | "dccp"
+    kind: str
+    #: packet-kind match: sender state and packet type
+    state: Optional[str] = None
+    packet_type: Optional[str] = None
+    #: basic attack name for packet kind (drop/duplicate/delay/batch/reflect/lie)
+    action: Optional[str] = None
+    #: action or campaign parameters
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown strategy kind {self.kind!r}")
+        if self.kind == KIND_PACKET:
+            if not (self.state and self.packet_type and self.action):
+                raise ValueError("packet strategy needs state, packet_type and action")
+
+    @property
+    def is_offpath(self) -> bool:
+        return self.kind in (KIND_INJECT, KIND_HITSEQWINDOW)
+
+    def describe(self) -> str:
+        if self.kind == KIND_PACKET:
+            extras = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            return (
+                f"[{self.strategy_id}] {self.action}({extras}) on "
+                f"{self.packet_type} in {self.state}"
+            )
+        target = self.params.get("dst", "?")
+        ptype = self.params.get("packet_type", "?")
+        trigger = self.params.get("trigger", "?")
+        return f"[{self.strategy_id}] {self.kind} {ptype} -> {target} at {trigger}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.describe()

@@ -1,0 +1,43 @@
+"""A from-scratch DCCP implementation (RFC 4340) with CCID 2.
+
+Models the Linux 3.13 DCCP implementation the paper tests:
+
+* the RFC 4340 connection lifecycle (REQUEST/RESPOND/PARTOPEN/OPEN/...),
+* per-packet 48-bit sequence numbers where *every* packet, including pure
+  acknowledgments, increments the sequence number,
+* sequence-validity windows with SYNC/SYNCACK resynchronisation,
+* CCID 2 TCP-like congestion control (window in packets, no retransmission,
+  no-feedback timer that collapses to one packet per backoff — DCCP's
+  "minimum rate"),
+* a send queue that must drain before CLOSE can be sent (the precondition of
+  the Acknowledgment Mung resource-exhaustion attack), and
+* the REQUEST-state bug the paper found: the packet-type check runs *before*
+  sequence validation, so any non-RESPONSE/RESET packet with arbitrary
+  sequence numbers resets a connection in REQUEST.
+"""
+
+from repro.dccpstack.variants import (
+    DCCP_VARIANTS,
+    DccpVariant,
+    LINUX_3_13_DCCP,
+    LINUX_3_13_DCCP_CCID3,
+    get_dccp_variant,
+)
+from repro.dccpstack.ccid2 import Ccid2
+from repro.dccpstack.ccid3 import Ccid3Sender, LossIntervalEstimator, tcp_throughput_equation
+from repro.dccpstack.connection import DccpConnection
+from repro.dccpstack.endpoint import DccpEndpoint
+
+__all__ = [
+    "DccpVariant",
+    "DCCP_VARIANTS",
+    "LINUX_3_13_DCCP",
+    "get_dccp_variant",
+    "Ccid2",
+    "Ccid3Sender",
+    "LossIntervalEstimator",
+    "tcp_throughput_equation",
+    "LINUX_3_13_DCCP_CCID3",
+    "DccpConnection",
+    "DccpEndpoint",
+]

@@ -1,0 +1,65 @@
+"""CCID 2: TCP-like congestion control for DCCP (RFC 4341).
+
+The window is counted in packets (DCCP sequence numbers are per-packet).
+Real CCID 2 learns exactly which packets arrived from the Ack Vector option;
+our receiver reports the same information as an aggregate delivered-packet
+counter carried in the acknowledgment (see
+:class:`~repro.dccpstack.connection.DccpConnection`), from which the sender
+infers new losses and halves its window at most once per congestion event.
+
+DCCP never retransmits data, so there is no RTO in the TCP sense; instead a
+*no-feedback timer* fires when acknowledgments stop arriving, collapsing the
+window to one packet and backing off exponentially — this is the "minimum
+rate" the paper's Acknowledgment Mung attack pins a sender at.
+"""
+
+from __future__ import annotations
+
+
+class Ccid2:
+    """TCP-like window management on packet counts."""
+
+    INITIAL_SSTHRESH_PACKETS = 64
+
+    def __init__(self, initial_cwnd: int = 3):
+        self.cwnd = max(1, initial_cwnd)
+        self.ssthresh: float = float(self.INITIAL_SSTHRESH_PACKETS)
+        self._avoidance_accum = 0
+        #: sender-side index of the newest packet covered by the last
+        #: congestion event (at most one halving per window of data)
+        self._recovery_until = -1
+        self.halvings = 0
+        self.no_feedback_events = 0
+
+    # ------------------------------------------------------------------
+    def on_ack_progress(self, newly_delivered: int) -> None:
+        """``newly_delivered`` packets were newly reported as received."""
+        for _ in range(max(0, newly_delivered)):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1
+            else:
+                self._avoidance_accum += 1
+                if self._avoidance_accum >= self.cwnd:
+                    self._avoidance_accum = 0
+                    self.cwnd += 1
+
+    def on_loss(self, highest_sent_index: int, loss_index: int) -> None:
+        """New loss detected at ``loss_index`` (sender packet index)."""
+        if loss_index <= self._recovery_until:
+            return  # same congestion event
+        self.halvings += 1
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = max(1, self.cwnd // 2)
+        self._recovery_until = highest_sent_index
+        self._avoidance_accum = 0
+
+    def on_no_feedback(self) -> None:
+        """The no-feedback timer fired: collapse to the minimum rate."""
+        self.no_feedback_events += 1
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = 1
+        self._recovery_until = -1
+        self._avoidance_accum = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Ccid2 cwnd={self.cwnd} ssthresh={self.ssthresh:.1f}>"

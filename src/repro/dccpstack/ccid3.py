@@ -1,0 +1,150 @@
+"""CCID 3: TCP-Friendly Rate Control for DCCP (RFC 4342 / RFC 5348).
+
+The paper notes DCCP's two standardized CCIDs and evaluates CCID 2 only;
+this module implements the other one as an extension, enabling attack
+campaigns against a rate-based sender.
+
+TFRC in brief: the receiver reports its receive rate and a *loss event
+rate* ``p``; the sender sets its allowed rate ``X`` to the TCP throughput
+equation
+
+    X = s / (R*sqrt(2p/3) + t_RTO * (3*sqrt(3p/8)) * p * (1 + 32 p^2))
+
+doubling toward ``2 * X_recv`` while no loss has been seen, and halving on
+no-feedback timeouts.  The receiver estimates ``p`` as the inverse of the
+weighted average of its last eight loss intervals (RFC 5348 section 5.4).
+
+Feedback travels in the same acknowledgment packets CCID 2 uses; see
+:class:`~repro.dccpstack.connection.DccpConnection` for how the aggregate
+counters are carried (the ack-vector/feedback-option substitute).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+#: RFC 5348 loss-interval weights, newest first
+LOSS_INTERVAL_WEIGHTS = (1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2)
+
+
+def tcp_throughput_equation(s: float, rtt: float, p: float, t_rto: Optional[float] = None) -> float:
+    """The TCP throughput equation (bytes/second).
+
+    ``s`` segment size in bytes, ``rtt`` seconds, ``p`` loss event rate in
+    (0, 1].  ``t_rto`` defaults to ``4 * rtt`` per RFC 5348.
+    """
+    if p <= 0:
+        raise ValueError("equation undefined for p <= 0")
+    rtt = max(rtt, 1e-6)
+    if t_rto is None:
+        t_rto = 4 * rtt
+    denominator = rtt * math.sqrt(2.0 * p / 3.0) + t_rto * (
+        3.0 * math.sqrt(3.0 * p / 8.0)
+    ) * p * (1.0 + 32.0 * p * p)
+    return s / denominator
+
+
+class LossIntervalEstimator:
+    """Receiver-side loss event rate from loss intervals (RFC 5348 5.4).
+
+    A *loss interval* is the number of packets between the starts of two
+    consecutive loss events; packets lost within ``rtt_packets`` of an
+    event's start belong to the same event.
+    """
+
+    def __init__(self, max_intervals: int = 8):
+        self.max_intervals = max_intervals
+        self._intervals: List[int] = []  # newest first, completed intervals
+        self._since_last_event = 0
+        self._expected_next: Optional[int] = None
+        self._event_open_until = -1
+
+    # ------------------------------------------------------------------
+    def on_packet(self, seq_index: int, rtt_packets: int = 8) -> None:
+        """Feed the receiver's view: monotone per-packet indexes with gaps."""
+        if self._expected_next is None:
+            self._expected_next = seq_index + 1
+            self._since_last_event = 1
+            return
+        if seq_index < self._expected_next:
+            return  # duplicate/reordered: ignore
+        gap = seq_index - self._expected_next
+        self._expected_next = seq_index + 1
+        if gap > 0:
+            if seq_index <= self._event_open_until:
+                # still within the same loss event; just extend the count
+                self._since_last_event += gap + 1
+                return
+            # a new loss event: close the running interval
+            self._intervals.insert(0, max(1, self._since_last_event))
+            del self._intervals[self.max_intervals:]
+            self._since_last_event = 1
+            self._event_open_until = seq_index + rtt_packets
+        else:
+            self._since_last_event += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def loss_event_rate(self) -> float:
+        """p = 1 / weighted mean interval; 0.0 before any loss event."""
+        if not self._intervals:
+            return 0.0
+        intervals = list(self._intervals)
+        # the open (current) interval counts when it is already the largest
+        if self._since_last_event > intervals[0]:
+            intervals = [self._since_last_event] + intervals[:-1]
+        total = 0.0
+        weight_sum = 0.0
+        for interval, weight in zip(intervals, LOSS_INTERVAL_WEIGHTS):
+            total += interval * weight
+            weight_sum += weight
+        mean = total / weight_sum
+        return min(0.5, 1.0 / max(mean, 1.0))
+
+
+class Ccid3Sender:
+    """TFRC sender: allowed rate in bytes/second."""
+
+    MIN_RATE = 1400.0  # one segment per second, TFRC's floor in our scale
+
+    def __init__(self, segment_size: int, initial_rate: Optional[float] = None):
+        self.s = float(segment_size)
+        # RFC 5348: initial rate of roughly 2-4 segments per RTT; we start
+        # at two segments per assumed 100 ms RTT
+        self.x = initial_rate if initial_rate is not None else 2 * self.s / 0.1
+        self.rtt = 0.1
+        self.p = 0.0
+        self.x_recv = 0.0
+        self.no_feedback_events = 0
+        self.feedback_count = 0
+
+    # ------------------------------------------------------------------
+    def on_feedback(self, x_recv: float, p: float, rtt_sample: Optional[float]) -> None:
+        """Receiver feedback: receive rate, loss event rate, RTT sample."""
+        self.feedback_count += 1
+        self.x_recv = max(0.0, x_recv)
+        self.p = max(0.0, min(1.0, p))
+        if rtt_sample is not None and rtt_sample > 0:
+            self.rtt = 0.9 * self.rtt + 0.1 * rtt_sample
+        if self.p > 0:
+            x_eq = tcp_throughput_equation(self.s, self.rtt, self.p)
+            self.x = max(self.MIN_RATE, min(x_eq, 2 * max(self.x_recv, self.MIN_RATE)))
+        else:
+            # no loss seen: slow-start-like doubling, bounded by 2 * X_recv
+            target = 2 * max(self.x_recv, self.MIN_RATE)
+            self.x = max(self.MIN_RATE, min(2 * self.x, target))
+
+    def on_no_feedback(self) -> None:
+        """Feedback stopped: halve the rate down to the floor."""
+        self.no_feedback_events += 1
+        self.x = max(self.MIN_RATE, self.x / 2.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def send_interval(self) -> float:
+        """Seconds between packets at the current allowed rate."""
+        return self.s / max(self.x, self.MIN_RATE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Ccid3Sender x={self.x:.0f}B/s p={self.p:.4f} rtt={self.rtt:.3f}>"

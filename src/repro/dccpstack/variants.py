@@ -1,0 +1,70 @@
+"""Implementation-variant profile for the DCCP stack.
+
+The paper tests a single DCCP implementation (Linux 3.13), but the variant
+mechanism mirrors the TCP one so additional profiles can be added, and so
+ablation benches can toggle individual behaviours (e.g. fixing the
+REQUEST-state type-check-before-sequence-check bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DccpVariant:
+    """Behavioural profile of one DCCP implementation."""
+
+    name: str
+    #: congestion control: "ccid2" (TCP-like, the paper's focus) or
+    #: "ccid3" (TFRC, implemented as an extension)
+    ccid: str = "ccid2"
+    mss: int = 1400
+    #: sequence window W (RFC 4340 section 7.5.1), in packets
+    sequence_window: int = 100
+    #: REQUEST retransmissions before giving up on connecting
+    request_retries: int = 4
+    #: initial/min/max backoff for the CCID2 no-feedback timer
+    rto_initial: float = 0.4
+    rto_min: float = 0.2
+    rto_max: float = 2.0
+    initial_cwnd_packets: int = 3
+    #: RFC 4340 mandates SYNC rate limiting; minimum gap between SYNCs
+    sync_min_interval: float = 0.05
+    #: TIMEWAIT duration (scaled down with the test length, like TCP's)
+    time_wait_duration: float = 1.0
+    #: the REQUEST-state bug: packet-type check before sequence validation
+    #: (True matches RFC 4340 pseudo-code and Linux 3.13)
+    request_type_check_first: bool = True
+
+    def with_overrides(self, **kwargs: object) -> "DccpVariant":
+        return replace(self, **kwargs)
+
+
+LINUX_3_13_DCCP = DccpVariant(name="linux-3.13-dccp")
+
+#: the same stack running TFRC instead of TCP-like congestion control
+LINUX_3_13_DCCP_CCID3 = LINUX_3_13_DCCP.with_overrides(
+    name="linux-3.13-dccp-ccid3", ccid="ccid3"
+)
+
+#: a hypothetical fixed implementation for ablation benches: sequence
+#: numbers are validated before the packet-type check in REQUEST
+PATCHED_REQUEST_DCCP = LINUX_3_13_DCCP.with_overrides(
+    name="patched-request-dccp", request_type_check_first=False
+)
+
+DCCP_VARIANTS: Dict[str, DccpVariant] = {
+    variant.name: variant
+    for variant in (LINUX_3_13_DCCP, LINUX_3_13_DCCP_CCID3, PATCHED_REQUEST_DCCP)
+}
+
+
+def get_dccp_variant(name: str) -> DccpVariant:
+    try:
+        return DCCP_VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown DCCP variant {name!r}; available: {sorted(DCCP_VARIANTS)}"
+        ) from None

@@ -1,0 +1,169 @@
+"""Links: bandwidth, propagation delay, and drop-tail queueing.
+
+A :class:`Link` is full duplex and built from two independent :class:`Pipe`
+objects, one per direction.  Each pipe models a transmitter that serializes
+one packet at a time at ``bandwidth_bps`` and a propagation delay of
+``delay_s``; packets arriving while the transmitter is busy wait in a FIFO
+queue bounded by ``queue_packets`` (drop-tail, like NS-3's default queue).
+
+This byte-accurate contention model is what makes the paper's throughput
+phenomena emerge naturally: competing flows share the bottleneck, injected
+attack traffic (``hitseqwindow``) steals serialization time from the target
+connection, and queue overflow produces congestion losses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Optional, TYPE_CHECKING
+
+from repro.netsim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.node import Host
+    from repro.packets.packet import Packet
+
+
+@dataclass
+class PipeStats:
+    """Counters kept per direction of a link."""
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_dropped: int = 0
+    bytes_dropped: int = 0
+    queue_peak: int = 0
+
+
+class Pipe:
+    """One direction of a link.
+
+    The receiving side is any object with ``receive(packet, pipe)``; in
+    practice that is a :class:`~repro.netsim.node.Host`.  A tap, when
+    installed, sees every packet before it is queued and may drop, modify,
+    delay, or replace it (see :mod:`repro.netsim.tap`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_packets: int = 64,
+        name: str = "pipe",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue_packets = queue_packets
+        self.name = name
+        self.dst: Optional[Any] = None
+        self.stats = PipeStats()
+        self.tap: Optional[Callable[["Packet", "Pipe"], Any]] = None
+        self._queue: Deque["Packet"] = deque()
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    def transmit(self, packet: "Packet") -> None:
+        """Entry point: pass the packet through the tap (if any) and enqueue."""
+        if self.tap is not None:
+            # The tap takes over delivery.  It calls ``enqueue`` for every
+            # packet (possibly modified, duplicated, delayed, or new) that
+            # should actually traverse the wire.
+            self.tap(packet, self)
+            return
+        self.enqueue(packet)
+
+    def enqueue(self, packet: "Packet") -> None:
+        """Place a packet on the transmit queue, dropping on overflow."""
+        if len(self._queue) >= self.queue_packets:
+            self.stats.packets_dropped += 1
+            self.stats.bytes_dropped += packet.size_bytes
+            return
+        self._queue.append(packet)
+        self.stats.queue_peak = max(self.stats.queue_peak, len(self._queue))
+        if not self._busy:
+            self._start_next()
+
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.popleft()
+        serialization = packet.size_bytes * 8.0 / self.bandwidth_bps
+        self.sim.schedule(serialization, self._finish_serialization, packet)
+
+    def _finish_serialization(self, packet: "Packet") -> None:
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size_bytes
+        self.sim.schedule(self.delay_s, self._deliver, packet)
+        self._start_next()
+
+    def _deliver(self, packet: "Packet") -> None:
+        if self.dst is not None:
+            self.dst.receive(packet, self)
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Pipe {self.name} {self.bandwidth_bps / 1e6:.1f}Mbps {self.delay_s * 1e3:.1f}ms>"
+
+
+class Link:
+    """Full-duplex link between two hosts, as two pipes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Host",
+        b: "Host",
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_packets: int = 64,
+        name: str = "link",
+    ):
+        self.name = name
+        self.a = a
+        self.b = b
+        self.ab = Pipe(sim, bandwidth_bps, delay_s, queue_packets, name=f"{name}:{a.name}->{b.name}")
+        self.ba = Pipe(sim, bandwidth_bps, delay_s, queue_packets, name=f"{name}:{b.name}->{a.name}")
+        self.ab.dst = b
+        self.ba.dst = a
+        a.attach(self, self.ab)
+        b.attach(self, self.ba)
+
+    def pipe_from(self, host: "Host") -> Pipe:
+        """The pipe that carries traffic *sent by* ``host``."""
+        if host is self.a:
+            return self.ab
+        if host is self.b:
+            return self.ba
+        raise ValueError(f"{host!r} is not an endpoint of {self.name}")
+
+    def pipe_to(self, host: "Host") -> Pipe:
+        """The pipe that carries traffic *towards* ``host``."""
+        if host is self.a:
+            return self.ba
+        if host is self.b:
+            return self.ab
+        raise ValueError(f"{host!r} is not an endpoint of {self.name}")
+
+    def other(self, host: "Host") -> "Host":
+        if host is self.a:
+            return self.b
+        if host is self.b:
+            return self.a
+        raise ValueError(f"{host!r} is not an endpoint of {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.a.name}<->{self.b.name}>"

@@ -1,0 +1,99 @@
+"""Hosts and routers.
+
+A :class:`Host` owns a set of link attachments, a static routing table
+(destination address -> link), and a protocol demultiplexer.  A host whose
+routing table contains entries for other destinations forwards packets like a
+router; a host with registered protocol handlers delivers packets addressed
+to itself up the stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, TYPE_CHECKING
+
+from repro.netsim.link import Link, Pipe
+from repro.netsim.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.packets.packet import Packet
+
+
+class ProtocolHandler(Protocol):
+    """Anything that can receive packets from a host's demultiplexer."""
+
+    def on_packet(self, packet: "Packet") -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Host:
+    """A network endpoint or router.
+
+    Addresses are opaque strings (``"client1"``, ``"server2"``...).  Routing
+    is static: :meth:`add_route` binds a destination address to one of this
+    host's links; :meth:`set_default_route` handles everything else.
+    """
+
+    def __init__(self, sim: Simulator, name: str, address: Optional[str] = None):
+        self.sim = sim
+        self.name = name
+        self.address = address if address is not None else name
+        self.links: List[Link] = []
+        self._out_pipes: Dict[int, Pipe] = {}  # id(link) -> pipe we transmit on
+        self._routes: Dict[str, Link] = {}
+        self._default_route: Optional[Link] = None
+        self._protocols: Dict[str, ProtocolHandler] = {}
+        self.packets_received = 0
+        self.packets_forwarded = 0
+        self.packets_dropped_no_route = 0
+        self.packets_dropped_no_handler = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, link: Link, out_pipe: Pipe) -> None:
+        """Called by :class:`Link` during construction."""
+        self.links.append(link)
+        self._out_pipes[id(link)] = out_pipe
+
+    def add_route(self, dst_address: str, link: Link) -> None:
+        if id(link) not in self._out_pipes:
+            raise ValueError(f"{self.name} is not attached to {link.name}")
+        self._routes[dst_address] = link
+
+    def set_default_route(self, link: Link) -> None:
+        if id(link) not in self._out_pipes:
+            raise ValueError(f"{self.name} is not attached to {link.name}")
+        self._default_route = link
+
+    def register_protocol(self, proto: str, handler: ProtocolHandler) -> None:
+        self._protocols[proto] = handler
+
+    def protocol(self, proto: str) -> Optional[ProtocolHandler]:
+        return self._protocols.get(proto)
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+    def send(self, packet: "Packet") -> None:
+        """Transmit a packet originated by (or forwarded through) this host."""
+        link = self._routes.get(packet.dst, self._default_route)
+        if link is None:
+            self.packets_dropped_no_route += 1
+            return
+        self._out_pipes[id(link)].transmit(packet)
+
+    def receive(self, packet: "Packet", pipe: Pipe) -> None:
+        """Called by the delivering pipe when a packet arrives."""
+        self.packets_received += 1
+        if packet.dst != self.address:
+            self.packets_forwarded += 1
+            self.send(packet)
+            return
+        handler = self._protocols.get(packet.proto)
+        if handler is None:
+            self.packets_dropped_no_handler += 1
+            return
+        handler.on_packet(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name}>"

@@ -1,0 +1,185 @@
+"""Deterministic discrete-event scheduler.
+
+The scheduler is a classic calendar queue built on :mod:`heapq`.  Events fire
+in (time, insertion-order) order, so simulations are fully deterministic for a
+given seed.  Everything else in the simulator (links, protocol timers,
+application behaviour) is expressed as callbacks scheduled here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised for invalid scheduler usage (negative delays, running twice, ...)."""
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable to cancel it.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when it
+    surfaces.  This keeps cancellation O(1), which matters because protocol
+    retransmission timers are cancelled on almost every ACK.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+        self.fn = None  # drop references so cancelled timers don't pin objects
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled and self.fn is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned :class:`random.Random`.  All stochastic
+        behaviour in a simulation (probabilistic packet drops, random field
+        values for the ``lie`` attack) must draw from :attr:`rng` so runs are
+        reproducible.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the horizon, the event budget, or heap exhaustion.
+
+        Returns the number of events processed by this call.  ``until`` is an
+        absolute simulated time; events scheduled exactly at the horizon still
+        run.  When the horizon is hit, :attr:`now` is advanced to it so that
+        measurements taken "at the end of the test" use the full window.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if not head.pending:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                event = heapq.heappop(self._heap)
+                if not event.pending:
+                    continue
+                self.now = event.time
+                fn, args = event.fn, event.args
+                event.cancel()  # mark consumed
+                assert fn is not None
+                fn(*args)
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        self._events_processed += processed
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if e.pending)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+
+class Timer:
+    """Restartable one-shot timer bound to a simulator.
+
+    Protocol code uses this for retransmission/delayed-ACK/connection timers:
+    ``start`` (re)arms it, ``stop`` disarms it, and the callback runs with no
+    arguments when it expires.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = "timer"):
+        self._sim = sim
+        self._callback = callback
+        self.name = name
+        self._handle: Optional[EventHandle] = None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now, replacing any prior arming."""
+        self.stop()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and self._handle.pending
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute time the timer will fire, or ``None`` if disarmed."""
+        if self.armed:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timer {self.name} armed={self.armed}>"

@@ -1,0 +1,115 @@
+"""Dumbbell topology builder (Figure 3 of the paper).
+
+Two clients and two servers sit on opposite sides of a bottleneck link::
+
+    client1 ---+                         +--- server1
+               |--- rl === bottleneck === rr ---|
+    client2 ---+                         +--- server2
+
+Client 1's access link is where the attack proxy is installed (between the
+malicious client and the bottleneck).  Client 2 <-> server 2 is the competing
+connection used to detect fairness/throughput attacks and to act as the
+off-path attack target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class DumbbellConfig:
+    """Link parameters for the dumbbell.
+
+    Defaults give a 4 Mbps bottleneck with a 40 ms round-trip time, small
+    enough that a few simulated seconds of bulk transfer produce a stable
+    throughput estimate while still exhibiting queueing and loss dynamics.
+    """
+
+    access_bandwidth_bps: float = 20_000_000.0
+    access_delay_s: float = 0.001
+    access_queue_packets: int = 128
+    bottleneck_bandwidth_bps: float = 4_000_000.0
+    bottleneck_delay_s: float = 0.018
+    bottleneck_queue_packets: int = 64
+
+
+class Dumbbell:
+    """Builds and wires the four-host dumbbell with static routes."""
+
+    CLIENT1 = "client1"
+    CLIENT2 = "client2"
+    SERVER1 = "server1"
+    SERVER2 = "server2"
+
+    def __init__(self, sim: Simulator, config: DumbbellConfig = DumbbellConfig()):
+        self.sim = sim
+        self.config = config
+        c = config
+
+        self.client1 = Host(sim, self.CLIENT1)
+        self.client2 = Host(sim, self.CLIENT2)
+        self.server1 = Host(sim, self.SERVER1)
+        self.server2 = Host(sim, self.SERVER2)
+        self.router_left = Host(sim, "rl")
+        self.router_right = Host(sim, "rr")
+
+        self.client1_access = Link(
+            sim, self.client1, self.router_left,
+            c.access_bandwidth_bps, c.access_delay_s, c.access_queue_packets,
+            name="c1-access",
+        )
+        self.client2_access = Link(
+            sim, self.client2, self.router_left,
+            c.access_bandwidth_bps, c.access_delay_s, c.access_queue_packets,
+            name="c2-access",
+        )
+        self.server1_access = Link(
+            sim, self.server1, self.router_right,
+            c.access_bandwidth_bps, c.access_delay_s, c.access_queue_packets,
+            name="s1-access",
+        )
+        self.server2_access = Link(
+            sim, self.server2, self.router_right,
+            c.access_bandwidth_bps, c.access_delay_s, c.access_queue_packets,
+            name="s2-access",
+        )
+        self.bottleneck = Link(
+            sim, self.router_left, self.router_right,
+            c.bottleneck_bandwidth_bps, c.bottleneck_delay_s, c.bottleneck_queue_packets,
+            name="bottleneck",
+        )
+
+        # end hosts default-route everything through their access link
+        self.client1.set_default_route(self.client1_access)
+        self.client2.set_default_route(self.client2_access)
+        self.server1.set_default_route(self.server1_access)
+        self.server2.set_default_route(self.server2_access)
+
+        # routers know where each end host lives
+        self.router_left.add_route(self.CLIENT1, self.client1_access)
+        self.router_left.add_route(self.CLIENT2, self.client2_access)
+        self.router_left.set_default_route(self.bottleneck)
+        self.router_right.add_route(self.SERVER1, self.server1_access)
+        self.router_right.add_route(self.SERVER2, self.server2_access)
+        self.router_right.set_default_route(self.bottleneck)
+
+        self.hosts: Dict[str, Host] = {
+            self.CLIENT1: self.client1,
+            self.CLIENT2: self.client2,
+            self.SERVER1: self.server1,
+            self.SERVER2: self.server2,
+        }
+
+    @property
+    def rtt_s(self) -> float:
+        """Base round-trip time between a client and a server (no queueing)."""
+        return 2 * (2 * self.config.access_delay_s + self.config.bottleneck_delay_s)
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]

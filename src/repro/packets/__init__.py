@@ -1,0 +1,31 @@
+"""Packet formats: header description language and generated codecs.
+
+The paper feeds SNAKE "a simple language to describe the header structure"
+and auto-generates C++ parse/modify code from it.  This package is the Python
+equivalent: :mod:`repro.packets.header` parses a textual header description
+into a :class:`HeaderFormat` and generates a concrete header class (slots,
+defaults, pack/parse, clone, field introspection) from it.  The TCP and DCCP
+descriptions live in :mod:`repro.packets.tcp` and :mod:`repro.packets.dccp`.
+"""
+
+from repro.packets.fields import FieldSpec, FlagBit
+from repro.packets.header import HeaderFormat, parse_header_description
+from repro.packets.packet import IP_HEADER_BYTES, Packet
+from repro.packets.tcp import TCP_FORMAT, TcpHeader, tcp_packet_type
+from repro.packets.dccp import DCCP_FORMAT, DccpHeader, DCCP_TYPES, dccp_packet_type
+
+__all__ = [
+    "FieldSpec",
+    "FlagBit",
+    "HeaderFormat",
+    "parse_header_description",
+    "Packet",
+    "IP_HEADER_BYTES",
+    "TCP_FORMAT",
+    "TcpHeader",
+    "tcp_packet_type",
+    "DCCP_FORMAT",
+    "DccpHeader",
+    "DCCP_TYPES",
+    "dccp_packet_type",
+]

@@ -1,0 +1,44 @@
+"""The attack proxy: SNAKE's packet-level malicious actions.
+
+The proxy sits on the malicious client's access link (Figure 3) and applies
+one attack strategy per test run.  Per-packet basic attacks (drop, duplicate,
+delay, batch, reflect, lie) fire when a packet of the strategy's type is
+observed while its sender is in the strategy's protocol state; off-path
+attacks (inject, hitseqwindow) forge packets outright, triggered either by a
+tracked state entry or at a fixed time.
+"""
+
+from repro.proxy.attacks import (
+    BatchAction,
+    DelayAction,
+    DropAction,
+    DuplicateAction,
+    LieAction,
+    PacketAction,
+    ReflectAction,
+    make_packet_action,
+)
+from repro.proxy.combo import ComboAction, make_combo_action
+from repro.proxy.craft import craft_dccp_packet, craft_tcp_packet
+from repro.proxy.injection import HitSeqWindowCampaign, InjectCampaign, InjectionCampaign
+from repro.proxy.proxy import AttackProxy, ProxyReport
+
+__all__ = [
+    "PacketAction",
+    "DropAction",
+    "DuplicateAction",
+    "DelayAction",
+    "BatchAction",
+    "ReflectAction",
+    "LieAction",
+    "make_packet_action",
+    "ComboAction",
+    "make_combo_action",
+    "craft_tcp_packet",
+    "craft_dccp_packet",
+    "InjectionCampaign",
+    "InjectCampaign",
+    "HitSeqWindowCampaign",
+    "AttackProxy",
+    "ProxyReport",
+]

@@ -1,0 +1,213 @@
+"""Per-packet basic attacks (Section IV-C of the paper).
+
+Each action receives an intercepted packet and answers with a list of
+``(extra_delay_seconds, packet)`` deliveries — empty to drop, one entry to
+forward (possibly modified/delayed), several to duplicate.  ``reflect``
+additionally uses the proxy's injection path to bounce a copy back at the
+sender.
+
+Packet delivery attacks: **drop**, **duplicate**, **delay**, **batch**.
+Packet content attacks: **reflect**, **lie**.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from repro.packets.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.proxy.proxy import AttackProxy
+
+Deliveries = List[Tuple[float, Packet]]
+
+
+class PacketAction:
+    """Base class for per-packet basic attacks."""
+
+    name = "noop"
+
+    def apply(self, packet: Packet, proxy: "AttackProxy", direction: str) -> Deliveries:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class DropAction(PacketAction):
+    """Drop the packet with the given probability (percent)."""
+
+    name = "drop"
+
+    def __init__(self, percent: int = 100):
+        if not 0 <= percent <= 100:
+            raise ValueError("drop percent must be in [0, 100]")
+        self.percent = percent
+
+    def apply(self, packet: Packet, proxy: "AttackProxy", direction: str) -> Deliveries:
+        if self.percent >= 100 or proxy.sim.rng.random() * 100.0 < self.percent:
+            return []
+        return [(0.0, packet)]
+
+    def describe(self) -> str:
+        return f"drop {self.percent}%"
+
+
+class DuplicateAction(PacketAction):
+    """Forward the packet plus ``copies`` duplicates."""
+
+    name = "duplicate"
+
+    def __init__(self, copies: int = 1):
+        if copies < 1:
+            raise ValueError("need at least one duplicate")
+        self.copies = copies
+
+    def apply(self, packet: Packet, proxy: "AttackProxy", direction: str) -> Deliveries:
+        deliveries: Deliveries = [(0.0, packet)]
+        for _ in range(self.copies):
+            deliveries.append((0.0, packet.clone()))
+        return deliveries
+
+    def describe(self) -> str:
+        return f"duplicate x{self.copies}"
+
+
+class DelayAction(PacketAction):
+    """Hold the packet for ``seconds`` before forwarding."""
+
+    name = "delay"
+
+    def __init__(self, seconds: float = 1.0):
+        if seconds < 0:
+            raise ValueError("delay cannot be negative")
+        self.seconds = seconds
+
+    def apply(self, packet: Packet, proxy: "AttackProxy", direction: str) -> Deliveries:
+        return [(self.seconds, packet)]
+
+    def describe(self) -> str:
+        return f"delay {self.seconds}s"
+
+
+class BatchAction(PacketAction):
+    """Hold matching packets and release them together every ``window`` s.
+
+    Designed to find Shrew/Induced-Shrew-like burst attacks: the first held
+    packet opens a batching window; every further match is released at the
+    same instant the window closes.
+    """
+
+    name = "batch"
+
+    def __init__(self, window: float = 1.0):
+        if window <= 0:
+            raise ValueError("batch window must be positive")
+        self.window = window
+        self._flush_at: Optional[float] = None
+
+    def apply(self, packet: Packet, proxy: "AttackProxy", direction: str) -> Deliveries:
+        now = proxy.sim.now
+        if self._flush_at is None or self._flush_at <= now:
+            self._flush_at = now + self.window
+        return [(self._flush_at - now, packet)]
+
+    def describe(self) -> str:
+        return f"batch {self.window}s"
+
+
+class ReflectAction(PacketAction):
+    """Send the packet back to its originator (ports swapped) and drop it.
+
+    Models unexpected-but-plausible responses like the TCP Simultaneous Open
+    attack (answering a SYN with a SYN).
+    """
+
+    name = "reflect"
+
+    def apply(self, packet: Packet, proxy: "AttackProxy", direction: str) -> Deliveries:
+        mirrored = packet.reversed()
+        header = mirrored.header
+        sport = header.get("sport")
+        header.set("sport", header.get("dport"))
+        header.set("dport", sport)
+        proxy.inject_toward(mirrored)
+        return []
+
+    def describe(self) -> str:
+        return "reflect"
+
+
+#: lie modes; operands are interpreted per mode
+LIE_MODES = ("zero", "max", "min", "random", "set", "add", "sub", "mul", "div")
+
+
+class LieAction(PacketAction):
+    """Modify one header field before forwarding.
+
+    Modes follow the paper: set particular values (``zero``/``min``/``max``/
+    ``set``), ``random`` values, or arithmetic on the current value
+    (``add``/``sub``/``mul``/``div`` by ``operand``).  Values are clamped to
+    the field width; the proxy is assumed to fix up checksums, as the paper's
+    proxy does.
+    """
+
+    name = "lie"
+
+    def __init__(self, field: str, mode: str, operand: int = 0):
+        if mode not in LIE_MODES:
+            raise ValueError(f"unknown lie mode {mode!r}")
+        if mode in ("add", "sub", "mul", "div", "set") and operand is None:
+            raise ValueError(f"mode {mode!r} needs an operand")
+        if mode == "div" and operand == 0:
+            raise ValueError("cannot divide by zero")
+        self.field = field
+        self.mode = mode
+        self.operand = operand
+
+    def apply(self, packet: Packet, proxy: "AttackProxy", direction: str) -> Deliveries:
+        modified = packet.clone()
+        header = modified.header
+        spec = header.FORMAT.field(self.field)
+        current = header.get(self.field)
+        if self.mode == "zero" or self.mode == "min":
+            value = 0
+        elif self.mode == "max":
+            value = spec.max_value
+        elif self.mode == "random":
+            value = proxy.sim.rng.randrange(spec.max_value + 1)
+        elif self.mode == "set":
+            value = self.operand
+        elif self.mode == "add":
+            value = current + self.operand
+        elif self.mode == "sub":
+            value = current - self.operand
+        elif self.mode == "mul":
+            value = current * self.operand
+        else:  # div
+            value = current // self.operand
+        header.set(self.field, spec.clamp(value))
+        return [(0.0, modified)]
+
+    def describe(self) -> str:
+        if self.mode in ("add", "sub", "mul", "div", "set"):
+            return f"lie {self.field} {self.mode} {self.operand}"
+        return f"lie {self.field} {self.mode}"
+
+
+_ACTION_CLASSES = {
+    cls.name: cls
+    for cls in (DropAction, DuplicateAction, DelayAction, BatchAction, ReflectAction, LieAction)
+}
+
+
+def make_packet_action(name: str, **params: object) -> PacketAction:
+    """Factory used by strategy materialization."""
+    try:
+        cls = _ACTION_CLASSES[name]
+    except KeyError:
+        raise ValueError(f"unknown basic attack {name!r}") from None
+    return cls(**params)  # type: ignore[arg-type]

@@ -1,0 +1,62 @@
+"""Combination strategies: sequences of basic attacks (paper future work).
+
+"Note that one can also consider more complex attack strategies that
+combine the basic attacks described above into strategies consisting of
+sequences of actions.  We currently support only the basic attacks."
+
+:class:`ComboAction` chains per-packet basic attacks: each stage consumes
+the deliveries of the previous one, delays accumulate, and an empty stage
+output (a drop) short-circuits.  Example: *lie on the sequence number, then
+delay the mangled packet by 500 ms, then duplicate it three times.*
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, TYPE_CHECKING
+
+from repro.packets.packet import Packet
+from repro.proxy.attacks import Deliveries, PacketAction, make_packet_action
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.proxy.proxy import AttackProxy
+
+
+class ComboAction(PacketAction):
+    """Apply a pipeline of basic attacks to each matched packet."""
+
+    name = "combo"
+
+    def __init__(self, steps: Sequence[PacketAction]):
+        if not steps:
+            raise ValueError("combo needs at least one step")
+        self.steps: Tuple[PacketAction, ...] = tuple(steps)
+
+    def apply(self, packet: Packet, proxy: "AttackProxy", direction: str) -> Deliveries:
+        deliveries: Deliveries = [(0.0, packet)]
+        for step in self.steps:
+            next_stage: Deliveries = []
+            for base_delay, current in deliveries:
+                for extra_delay, out in step.apply(current, proxy, direction):
+                    next_stage.append((base_delay + extra_delay, out))
+            deliveries = next_stage
+            if not deliveries:
+                break
+        return deliveries
+
+    def describe(self) -> str:
+        return " -> ".join(step.describe() for step in self.steps)
+
+
+def make_combo_action(steps: Iterable[dict]) -> ComboAction:
+    """Materialize a combo from declarative step specs.
+
+    Each step is ``{"action": name, **params}`` — the same vocabulary as
+    single-action strategies, so combos serialize/pickle like everything
+    else the controller ships to executors.
+    """
+    built: List[PacketAction] = []
+    for spec in steps:
+        spec = dict(spec)
+        action = spec.pop("action")
+        built.append(make_packet_action(action, **spec))
+    return ComboAction(built)

@@ -1,0 +1,68 @@
+"""Forged-packet construction for off-path attacks.
+
+The paper generates "proper packet headers ... from the protocol description
+using our automatically generated protocol processing code"; these helpers do
+the same through the generated header classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.packets.packet import Packet
+from repro.packets.dccp import DccpHeader, make_dccp_header
+from repro.packets.tcp import TcpHeader
+
+
+def craft_tcp_packet(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    flags: str = "ACK",
+    payload_len: int = 0,
+    fields: Optional[Dict[str, int]] = None,
+) -> Packet:
+    """Build a TCP packet; ``flags`` is a '+'-joined combination ("SYN+ACK")."""
+    header = TcpHeader(sport=sport, dport=dport)
+    for name in flags.split("+"):
+        name = name.strip().lower()
+        if name and name != "none":
+            header.set_flag("flags", name)
+    for field, value in (fields or {}).items():
+        header.set(field, value)
+    return Packet(src, dst, "tcp", header, payload_len)
+
+
+def craft_dccp_packet(
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    packet_type: str = "DATA",
+    payload_len: int = 0,
+    fields: Optional[Dict[str, int]] = None,
+) -> Packet:
+    """Build a DCCP packet of the named type."""
+    header = make_dccp_header(packet_type, sport=sport, dport=dport)
+    for field, value in (fields or {}).items():
+        header.set(field, value)
+    return Packet(src, dst, "dccp", header, payload_len)
+
+
+def craft_packet(
+    protocol: str,
+    src: str,
+    dst: str,
+    sport: int,
+    dport: int,
+    packet_type: str,
+    payload_len: int = 0,
+    fields: Optional[Dict[str, int]] = None,
+) -> Packet:
+    """Protocol-generic crafting keyed on the demux name."""
+    if protocol == "tcp":
+        return craft_tcp_packet(src, dst, sport, dport, packet_type, payload_len, fields)
+    if protocol == "dccp":
+        return craft_dccp_packet(src, dst, sport, dport, packet_type, payload_len, fields)
+    raise ValueError(f"unknown protocol {protocol!r}")

@@ -1,0 +1,172 @@
+"""The attack proxy itself.
+
+Wraps a :class:`~repro.netsim.tap.LinkTap` on the malicious client's access
+link, feeds every target-protocol packet to the state tracker, applies the
+active strategy's basic attack to packets matching the strategy's
+(sender state, packet type) pair, arms injection campaigns, and collects the
+feedback (observed state/type pairs, per-state statistics, invalid-flag
+response correlation) that the executor reports to the controller.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.simulator import Simulator
+from repro.netsim.tap import EGRESS, INGRESS, LinkTap, TapVerdict
+from repro.packets.packet import Packet
+from repro.packets.tcp import VALID_FLAG_COMBOS, tcp_packet_type
+from repro.proxy.attacks import PacketAction
+from repro.proxy.injection import InjectionCampaign
+from repro.statemachine.tracker import StateTracker
+
+#: how long after forwarding an invalid-flag packet an egress packet counts
+#: as a response to it (covers one access-link RTT with margin)
+INVALID_RESPONSE_WINDOW = 0.05
+
+
+@dataclass
+class ProxyReport:
+    """Feedback the executor extracts from the proxy after a test."""
+
+    intercepted: int = 0
+    matched: int = 0
+    dropped: int = 0
+    injected: int = 0
+    invalid_forwarded: int = 0
+    invalid_responses: int = 0
+    observed_pairs: Set[Tuple[str, str]] = field(default_factory=set)
+    client_states_visited: Dict[str, int] = field(default_factory=dict)
+    server_states_visited: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def invalid_response_rate(self) -> float:
+        if self.invalid_forwarded == 0:
+            return 0.0
+        return self.invalid_responses / self.invalid_forwarded
+
+
+class AttackProxy:
+    """One proxy instance per test run; applies at most one strategy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        tapped_host: Host,
+        protocol: str,
+        tracker: StateTracker,
+    ):
+        self.sim = sim
+        self.protocol = protocol
+        self.tracker = tracker
+        self.tapped_host = tapped_host
+        self.tap = LinkTap(sim, link, tapped_host, handler=self._handle)
+        # strategy bindings
+        self._packet_rules: List[Tuple[str, str, PacketAction]] = []
+        self._campaigns: List[InjectionCampaign] = []
+        self._state_hooks: Dict[Tuple[str, str], List[Callable[[str, str], None]]] = {}
+        tracker.transition_listeners.append(self._on_transition)
+        # counters
+        self.matched = 0
+        self.invalid_forwarded = 0
+        self.invalid_responses = 0
+        self._pending_invalid: Deque[float] = deque(maxlen=64)
+
+    # ------------------------------------------------------------------
+    # strategy wiring
+    # ------------------------------------------------------------------
+    def add_packet_rule(self, state: str, packet_type: str, action: PacketAction) -> None:
+        """Apply ``action`` to packets of ``packet_type`` sent in ``state``."""
+        self._packet_rules.append((state, packet_type, action))
+
+    def add_campaign(self, campaign: InjectionCampaign) -> None:
+        self._campaigns.append(campaign)
+        campaign.arm(self)
+
+    def add_state_hook(self, role: str, state: str, callback: Callable[[str, str], None]) -> None:
+        self._state_hooks.setdefault((role, state), []).append(callback)
+
+    def _on_transition(self, role: str, new_state: str) -> None:
+        for callback in self._state_hooks.get((role, new_state), ()):
+            callback(role, new_state)
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+    def _handle(self, packet: Packet, direction: str) -> TapVerdict:
+        if packet.proto != self.protocol:
+            return TapVerdict.forward(packet)
+        sender_state, packet_type = self.tracker.observe(packet, self.sim.now)
+        verdict: Optional[TapVerdict] = None
+        for state, ptype, action in self._packet_rules:
+            if sender_state == state and packet_type == ptype:
+                self.matched += 1
+                verdict = TapVerdict(action.apply(packet, self, direction))
+                break
+        if verdict is None:
+            verdict = TapVerdict.forward(packet)
+        # correlate on what actually goes on the wire (a lie may have just
+        # made this packet's flag combination invalid)
+        for _, delivered in verdict.deliveries:
+            self._track_invalid_flags(delivered, direction)
+        return verdict
+
+    def inject_toward(self, packet: Packet) -> None:
+        """Place a forged packet on the wire in the right direction."""
+        direction = INGRESS if packet.dst == self.tapped_host.address else EGRESS
+        self.tap.inject(packet, direction)
+
+    # ------------------------------------------------------------------
+    # invalid-flag response correlation (TCP fingerprinting signal)
+    # ------------------------------------------------------------------
+    def _track_invalid_flags(self, packet: Packet, direction: str) -> None:
+        """Correlate egress packets with recently forwarded invalid packets.
+
+        An egress packet counts as a response to an invalid ingress packet
+        only if *no valid ingress packet* intervened — valid traffic clears
+        the pending set, so the ordinary ACK clock never inflates the count.
+        This is exactly what an analyst reading the proxy's packet capture
+        would conclude, kept black-box.
+        """
+        if self.protocol != "tcp":
+            return
+        now = self.sim.now
+        if direction == INGRESS:
+            if tcp_packet_type(packet.header) not in VALID_FLAG_COMBOS:
+                self.invalid_forwarded += 1
+                self._pending_invalid.append(now)
+            else:
+                self._pending_invalid.clear()
+        else:
+            while self._pending_invalid and now - self._pending_invalid[0] > INVALID_RESPONSE_WINDOW:
+                self._pending_invalid.popleft()
+            if self._pending_invalid:
+                self._pending_invalid.popleft()
+                self.invalid_responses += 1
+
+    # ------------------------------------------------------------------
+    def report(self) -> ProxyReport:
+        self.tracker.finish(self.sim.now)
+        return ProxyReport(
+            intercepted=self.tap.intercepted,
+            matched=self.matched,
+            dropped=self.tap.dropped,
+            injected=self.tap.injected,
+            invalid_forwarded=self.invalid_forwarded,
+            invalid_responses=self.invalid_responses,
+            observed_pairs=set(self.tracker.observed_pairs),
+            client_states_visited={
+                state: stats.visits for state, stats in self.tracker.client.stats.items()
+            },
+            server_states_visited={
+                state: stats.visits for state, stats in self.tracker.server.stats.items()
+            },
+        )
+
+    def remove(self) -> None:
+        self.tap.remove()

@@ -1,0 +1,39 @@
+"""Protocol state machines: dot parsing, modelling, and runtime tracking.
+
+SNAKE takes the protocol state machine "written in the dot language" as
+input and infers, purely from observed packets, which state each endpoint is
+in.  This package contains the dot parser (:mod:`repro.statemachine.dot`),
+the state-machine model (:mod:`repro.statemachine.machine`), the runtime
+tracker with per-state statistics (:mod:`repro.statemachine.tracker`), and
+the TCP (RFC 793) and DCCP (RFC 4340) machine descriptions under
+``specs/``.
+"""
+
+from repro.statemachine.dot import DotParseError, parse_dot
+from repro.statemachine.machine import StateMachine, Transition, TriggerEvent
+from repro.statemachine.tracker import EndpointTracker, StateStats, StateTracker
+from repro.statemachine.infer import (
+    InferredStateMachine,
+    events_from_trace,
+    infer_from_traces,
+    infer_state_machine,
+)
+from repro.statemachine.specs import load_spec, tcp_state_machine, dccp_state_machine
+
+__all__ = [
+    "DotParseError",
+    "parse_dot",
+    "StateMachine",
+    "Transition",
+    "TriggerEvent",
+    "EndpointTracker",
+    "StateStats",
+    "StateTracker",
+    "InferredStateMachine",
+    "events_from_trace",
+    "infer_from_traces",
+    "infer_state_machine",
+    "load_spec",
+    "tcp_state_machine",
+    "dccp_state_machine",
+]

@@ -1,0 +1,144 @@
+"""A small parser for the subset of the dot language SNAKE uses.
+
+The paper represents protocol state machines in dot so that a new protocol
+can be plugged in "simply by swapping out the state machine and packet
+header descriptions".  We support the subset needed for that:
+
+* ``digraph name { ... }``
+* graph attributes — ``client_initial=SYN_SENT;``
+* node declarations with optional attribute lists — ``CLOSED [final=true];``
+* edges with attribute lists — ``A -> B [label="rcv SYN / snd SYN+ACK"];``
+* ``//`` and ``#`` line comments, quoted or bare identifiers
+
+The parse result is deliberately dumb data (:class:`DotGraph`); translating
+edge labels into transition triggers happens in
+:mod:`repro.statemachine.machine`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class DotParseError(ValueError):
+    """Raised when the dot text cannot be parsed."""
+
+
+@dataclass
+class DotNode:
+    name: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class DotEdge:
+    src: str
+    dst: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return self.attrs.get("label", "")
+
+
+@dataclass
+class DotGraph:
+    name: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    nodes: Dict[str, DotNode] = field(default_factory=dict)
+    edges: List[DotEdge] = field(default_factory=list)
+
+    def node(self, name: str) -> DotNode:
+        if name not in self.nodes:
+            self.nodes[name] = DotNode(name)
+        return self.nodes[name]
+
+
+_GRAPH_RE = re.compile(r"\s*digraph\s+(\w+)\s*\{(.*)\}\s*$", re.S)
+_ATTR_LIST_RE = re.compile(r"\[(.*)\]\s*$", re.S)
+_ATTR_RE = re.compile(r'(\w+)\s*=\s*(?:"((?:[^"\\]|\\.)*)"|([\w.+|*!-]+))')
+_EDGE_RE = re.compile(r'^"?([\w.+-]+)"?\s*->\s*"?([\w.+-]+)"?\s*(\[.*\])?\s*$', re.S)
+_NODE_RE = re.compile(r'^"?([\w.+-]+)"?\s*(\[.*\])?\s*$', re.S)
+_GRAPH_ATTR_RE = re.compile(r'^(\w+)\s*=\s*(?:"((?:[^"\\]|\\.)*)"|([\w.+|*!-]+))\s*$')
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        for marker in ("//", "#"):
+            idx = line.find(marker)
+            if idx >= 0:
+                line = line[:idx]
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _split_statements(body: str) -> List[str]:
+    """Split the graph body on semicolons that are outside quotes/brackets."""
+    statements: List[str] = []
+    current: List[str] = []
+    in_quote = False
+    depth = 0
+    for ch in body:
+        if ch == '"':
+            in_quote = not in_quote
+        elif not in_quote:
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth = max(0, depth - 1)
+            elif ch in ";\n" and depth == 0:
+                stmt = "".join(current).strip()
+                if stmt:
+                    statements.append(stmt)
+                current = []
+                continue
+        current.append(ch)
+    stmt = "".join(current).strip()
+    if stmt:
+        statements.append(stmt)
+    return statements
+
+
+def _parse_attr_list(text: Optional[str]) -> Dict[str, str]:
+    if not text:
+        return {}
+    inner = _ATTR_LIST_RE.match(text.strip())
+    if inner is None:
+        raise DotParseError(f"malformed attribute list: {text!r}")
+    attrs: Dict[str, str] = {}
+    for key, quoted, bare in _ATTR_RE.findall(inner.group(1)):
+        attrs[key] = quoted.replace('\\"', '"') if quoted else bare
+    return attrs
+
+
+def parse_dot(text: str) -> DotGraph:
+    """Parse dot text into a :class:`DotGraph`."""
+    cleaned = _strip_comments(text)
+    match = _GRAPH_RE.match(cleaned)
+    if match is None:
+        raise DotParseError("expected 'digraph <name> { ... }'")
+    graph = DotGraph(match.group(1))
+    for stmt in _split_statements(match.group(2)):
+        edge_match = _EDGE_RE.match(stmt)
+        if edge_match is not None:
+            src, dst, attr_text = edge_match.groups()
+            graph.node(src)
+            graph.node(dst)
+            graph.edges.append(DotEdge(src, dst, _parse_attr_list(attr_text)))
+            continue
+        graph_attr = _GRAPH_ATTR_RE.match(stmt)
+        if graph_attr is not None:
+            key, quoted, bare = graph_attr.groups()
+            graph.attrs[key] = quoted if quoted else bare
+            continue
+        node_match = _NODE_RE.match(stmt)
+        if node_match is not None:
+            name, attr_text = node_match.groups()
+            node = graph.node(name)
+            node.attrs.update(_parse_attr_list(attr_text))
+            continue
+        raise DotParseError(f"cannot parse statement: {stmt!r}")
+    return graph

@@ -1,0 +1,26 @@
+"""Bundled protocol state-machine descriptions (dot files)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.statemachine.machine import StateMachine
+
+_SPEC_DIR = Path(__file__).resolve().parent
+
+
+def load_spec(name: str) -> StateMachine:
+    """Load a bundled dot spec by protocol name (``"tcp"`` or ``"dccp"``)."""
+    path = _SPEC_DIR / f"{name}.dot"
+    if not path.exists():
+        available = sorted(p.stem for p in _SPEC_DIR.glob("*.dot"))
+        raise FileNotFoundError(f"no bundled state machine {name!r}; available: {available}")
+    return StateMachine.from_dot(path.read_text())
+
+
+def tcp_state_machine() -> StateMachine:
+    return load_spec("tcp")
+
+
+def dccp_state_machine() -> StateMachine:
+    return load_spec("dccp")

@@ -1,0 +1,182 @@
+"""Congestion-control personalities.
+
+Three senders, discriminated by the attacks in the paper:
+
+* :class:`NewReno` — standard AIMD with slow start, congestion avoidance,
+  fast retransmit and New Reno fast recovery.  Linux 3.0.0 / 3.13 profile.
+* :class:`NaiveAckCounting` — the misbehaving-receiver-vulnerable sender of
+  Savage et al. [11]: the congestion window grows on **every** ACK received,
+  duplicates included, and no duplicate-ACK accounting limits growth to data
+  actually outstanding.  Windows 95 profile.
+* :class:`OverreactingNewReno` — responds to a duplicate-ACK-triggered
+  retransmission like a timeout (window back to one segment, tiny ssthresh)
+  instead of halving-and-recovering.  This models the Windows 8.1 behaviour
+  behind the paper's new "Duplicate Acknowledgment Rate Limiting" attack:
+  occasional duplicated PSH+ACK packets cost it ~5x throughput while Linux
+  competitors shrug the same burst off.
+"""
+
+from __future__ import annotations
+
+
+class CongestionControl:
+    """Common state: cwnd/ssthresh in bytes, slow start vs avoidance."""
+
+    #: whether the engine should run duplicate-ACK-triggered retransmission
+    supports_fast_retransmit = True
+
+    #: classic initial slow-start threshold (BSD/Linux route-metric
+    #: default); prevents pathological slow-start overshoot on first use
+    INITIAL_SSTHRESH = 65535
+
+    def __init__(self, mss: int, initial_segments: int = 10):
+        self.mss = mss
+        self.cwnd = mss * initial_segments
+        self.ssthresh: float = float(self.INITIAL_SSTHRESH)
+        self.in_fast_recovery = False
+        self._recovery_point = 0  # snd_nxt when recovery started
+        self._avoidance_accum = 0
+        self.fast_retransmits = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------------
+    # events fed by the connection engine
+    # ------------------------------------------------------------------
+    def on_ack(self, newly_acked: int, snd_una: int) -> None:
+        """A cumulative ACK advanced snd_una by ``newly_acked`` bytes to ``snd_una``."""
+        raise NotImplementedError
+
+    def on_duplicate_ack(self) -> None:
+        """A duplicate ACK arrived (no window update, no data acked)."""
+
+    def on_fast_retransmit(self, snd_nxt: int, now: float = 0.0) -> None:
+        """Third duplicate ACK: the engine is retransmitting snd_una."""
+        raise NotImplementedError
+
+    def on_timeout(self) -> None:
+        """Retransmission timer fired."""
+        self.timeouts += 1
+        self.ssthresh = max(2 * self.mss, self.cwnd // 2)
+        self.cwnd = self.mss
+        self.in_fast_recovery = False
+        self._avoidance_accum = 0
+
+    # ------------------------------------------------------------------
+    def _grow(self, newly_acked: int) -> None:
+        """Standard slow start / congestion avoidance growth.
+
+        Avoidance accumulates ``mss * newly_acked`` per ACK and adds one MSS
+        when the accumulator reaches ``cwnd * mss`` — i.e. one MSS per cwnd
+        bytes acknowledged, the classic one-MSS-per-RTT rate.
+        """
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(newly_acked, self.mss)
+        else:
+            self._avoidance_accum += self.mss * min(newly_acked, self.mss)
+            if self._avoidance_accum >= self.cwnd * self.mss:
+                self._avoidance_accum -= self.cwnd * self.mss
+                self.cwnd += self.mss
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} cwnd={self.cwnd} ssthresh={self.ssthresh}>"
+
+
+class NewReno(CongestionControl):
+    """RFC 5681/6582 behaviour."""
+
+    def on_ack(self, newly_acked: int, snd_una: int) -> None:
+        if self.in_fast_recovery:
+            # partial vs full ACK: leave recovery only once the cumulative
+            # ACK passes the recovery point (RFC 6582).
+            if snd_una >= self._recovery_point:
+                self.in_fast_recovery = False
+                self.cwnd = max(self.ssthresh, 2 * self.mss)
+            else:
+                # partial ACK: deflate by the amount acked, keep recovering
+                self.cwnd = max(self.mss, self.cwnd - newly_acked + self.mss)
+                return
+        self._grow(newly_acked)
+
+    def on_duplicate_ack(self) -> None:
+        if self.in_fast_recovery:
+            # window inflation: each dup ACK signals a packet has left
+            self.cwnd += self.mss
+
+    def on_fast_retransmit(self, snd_nxt: int, now: float = 0.0) -> None:
+        self.fast_retransmits += 1
+        self.ssthresh = max(2 * self.mss, self.cwnd // 2)
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self.in_fast_recovery = True
+        self._recovery_point = snd_nxt
+        self._avoidance_accum = 0
+
+
+class NaiveAckCounting(CongestionControl):
+    """Grows the window on every ACK, duplicates included (Windows 95).
+
+    There is no duplicate-ACK-triggered retransmission: loss recovery is
+    timeout-only, which matches pre-fast-retransmit stacks and leaves the
+    window-growth path as the only response to duplicate ACKs — exactly the
+    behaviour Duplicate Acknowledgment Spoofing exploits.
+    """
+
+    def on_ack(self, newly_acked: int, snd_una: int) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += self.mss
+        else:
+            self._avoidance_accum += self.mss * self.mss
+            if self._avoidance_accum >= self.cwnd * self.mss:
+                self._avoidance_accum -= self.cwnd * self.mss
+                self.cwnd += self.mss
+
+    def on_duplicate_ack(self) -> None:
+        # the defining bug: duplicate ACKs also grow the window
+        self.on_ack(0, 0)
+
+    supports_fast_retransmit = False
+
+    def on_fast_retransmit(self, snd_nxt: int, now: float = 0.0) -> None:  # pragma: no cover
+        raise AssertionError("naive sender has no fast retransmit")
+
+
+class OverreactingNewReno(NewReno):
+    """Rate-limits itself under repeated duplicate-ACK bursts (Windows 8.1).
+
+    A lone fast retransmit behaves exactly like New Reno, so ordinary
+    competition is fair.  But when duplicate-ACK-triggered retransmissions
+    recur within :attr:`BURST_WINDOW` seconds — which never happens with
+    natural congestion losses but happens constantly when an attacker
+    duplicates the occasional PSH+ACK ten times — the sender treats the burst
+    like a timeout and collapses its window.  This models the throttling the
+    paper observed as the "Duplicate Acknowledgment Rate Limiting" attack
+    (~5x degradation on Windows 8.1, none on Linux).
+    """
+
+    BURST_WINDOW = 1.0
+
+    def __init__(self, mss: int, initial_segments: int = 10):
+        super().__init__(mss, initial_segments)
+        self._last_fast_retransmit = float("-inf")
+
+    def on_fast_retransmit(self, snd_nxt: int, now: float = 0.0) -> None:
+        recurrent = (now - self._last_fast_retransmit) < self.BURST_WINDOW
+        self._last_fast_retransmit = now
+        if not recurrent:
+            super().on_fast_retransmit(snd_nxt)
+            return
+        self.fast_retransmits += 1
+        self.ssthresh = 2 * self.mss
+        self.cwnd = self.mss
+        self.in_fast_recovery = False
+        self._avoidance_accum = 0
+
+
+def make_congestion_control(kind: str, mss: int, initial_segments: int = 10) -> CongestionControl:
+    """Factory keyed by :attr:`TcpVariant.congestion`."""
+    if kind == "newreno":
+        return NewReno(mss, initial_segments)
+    if kind == "naive":
+        return NaiveAckCounting(mss, initial_segments)
+    if kind == "overreact":
+        return OverreactingNewReno(mss, initial_segments)
+    raise ValueError(f"unknown congestion control kind {kind!r}")

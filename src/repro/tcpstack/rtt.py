@@ -1,0 +1,53 @@
+"""RTT estimation and RTO computation (RFC 6298).
+
+SRTT/RTTVAR smoothing with Karn's algorithm handled by the caller (samples
+from retransmitted segments are simply never fed in).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RttEstimator:
+    """Classic SRTT/RTTVAR estimator producing a clamped RTO."""
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+
+    def __init__(self, rto_initial: float = 1.0, rto_min: float = 0.2, rto_max: float = 60.0):
+        self.rto_initial = rto_initial
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self._rto = rto_initial
+        self.samples = 0
+
+    def sample(self, rtt: float) -> None:
+        """Feed one RTT measurement (seconds, from an unretransmitted segment)."""
+        if rtt < 0:
+            raise ValueError("negative RTT sample")
+        self.samples += 1
+        if self.srtt is None or self.rttvar is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self._rto = self._clamp(self.srtt + self.K * self.rttvar)
+
+    def backoff(self) -> None:
+        """Exponential backoff after a retransmission timeout."""
+        self._rto = self._clamp(self._rto * 2.0)
+
+    @property
+    def rto(self) -> float:
+        return self._rto
+
+    def _clamp(self, value: float) -> float:
+        return max(self.rto_min, min(self.rto_max, value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RttEstimator srtt={self.srtt} rto={self._rto:.3f}>"

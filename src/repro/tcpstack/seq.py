@@ -1,0 +1,49 @@
+"""32-bit sequence-number arithmetic.
+
+Internally the stack keeps unbounded integers (convenient and fast in
+Python); on the wire, sequence and acknowledgment numbers are 32-bit and the
+attack proxy can set them to anything.  :func:`unwrap` maps a 32-bit wire
+value to the unbounded representative nearest a local reference, after which
+ordinary comparisons implement the RFC's modular window checks.
+"""
+
+from __future__ import annotations
+
+SEQ_MASK = 0xFFFFFFFF
+SEQ_MOD = 1 << 32
+SEQ_HALF = 1 << 31
+
+
+def wrap(value: int) -> int:
+    """Unbounded -> wire (32-bit)."""
+    return value & SEQ_MASK
+
+
+def unwrap(wire_value: int, reference: int) -> int:
+    """Wire (32-bit) -> the unbounded value congruent mod 2^32 nearest ``reference``."""
+    base = reference - (reference & SEQ_MASK)
+    candidate = base + (wire_value & SEQ_MASK)
+    if candidate - reference > SEQ_HALF:
+        candidate -= SEQ_MOD
+    elif reference - candidate > SEQ_HALF:
+        candidate += SEQ_MOD
+    return candidate
+
+
+def seq_in_window(seq: int, window_start: int, window_size: int) -> bool:
+    """Is unbounded ``seq`` within [window_start, window_start + window_size)?"""
+    return window_start <= seq < window_start + window_size
+
+
+def segment_acceptable(seg_seq: int, seg_len: int, rcv_nxt: int, rcv_wnd: int) -> bool:
+    """RFC 793 segment acceptability test (on unwrapped values)."""
+    if seg_len == 0:
+        if rcv_wnd == 0:
+            return seg_seq == rcv_nxt
+        return seq_in_window(seg_seq, rcv_nxt, rcv_wnd)
+    if rcv_wnd == 0:
+        return False
+    return (
+        seq_in_window(seg_seq, rcv_nxt, rcv_wnd)
+        or seq_in_window(seg_seq + seg_len - 1, rcv_nxt, rcv_wnd)
+    )

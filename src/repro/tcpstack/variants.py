@@ -1,0 +1,116 @@
+"""Implementation-variant profiles for the TCP stack.
+
+SNAKE treats implementations as black boxes; what distinguishes "Linux
+3.0.0" from "Windows 95" in the paper is observable protocol behaviour.
+Each :class:`TcpVariant` captures the behavioural knobs that the paper's
+attacks discriminate on.  The engine consults the active variant at every
+decision point where real implementations diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+#: how an implementation reacts to packets whose flag combination never
+#: occurs in normal operation (SYN+FIN, no flags at all, ...)
+INVALID_FLAGS_INTERPRET = "interpret"  # process the packet as best it can (Linux 3.0.0)
+INVALID_FLAGS_IGNORE = "ignore"  # silently drop (Linux 3.13, Windows 95)
+INVALID_FLAGS_RST_PRIORITY = "rst_priority"  # reset if RST set, else ignore (Windows 8.1)
+
+#: what happens when the application closes a connection sitting in
+#: CLOSE_WAIT with data still unacknowledged in the send queue
+CLOSE_WAIT_RETAIN = "retain"  # keep retransmitting; socket lingers (Linux)
+CLOSE_WAIT_ABORT = "abort"  # give up quickly: send RST, free the socket (Windows)
+
+
+@dataclass(frozen=True)
+class TcpVariant:
+    """Behavioural profile of one TCP implementation."""
+
+    name: str
+    #: congestion-control personality (see :mod:`repro.tcpstack.congestion`)
+    congestion: str = "newreno"
+    invalid_flags_policy: str = INVALID_FLAGS_IGNORE
+    close_wait_policy: str = CLOSE_WAIT_RETAIN
+    #: data retransmission attempts before the connection is force-closed
+    #: (Linux tcp_retries2 default is 15 -> "13 to 30 minutes")
+    data_retries: int = 15
+    #: SYN retransmission attempts before connect() fails
+    syn_retries: int = 5
+    mss: int = 1400
+    #: advertised receive window in bytes (scaled via window_scale)
+    receive_window: int = 262144
+    #: RFC 1323 window-scale shift advertised in the handshake
+    window_scale: int = 3
+    initial_cwnd_segments: int = 10
+    rto_initial: float = 1.0
+    rto_min: float = 0.2
+    rto_max: float = 60.0
+    #: 2*MSL for TIME_WAIT.  Real stacks use 60-240 s; tests here last a few
+    #: simulated seconds, so the default is scaled down proportionally.
+    time_wait_duration: float = 1.0
+    #: does a sequence-valid SYN on an established connection reset it?
+    #: (RFC 793 says yes; this is the SYN-Reset attack surface)
+    syn_in_window_resets: bool = True
+    #: does an RST anywhere in the receive window reset the connection?
+    #: (Watson's "slipping in the window"; all real stacks of the era)
+    rst_in_window_resets: bool = True
+    #: on exit with undelivered data, does the client send FIN and then
+    #: answer further data with RST (Linux wget-killed behaviour)?
+    exit_sends_fin_then_rst: bool = True
+
+    def with_overrides(self, **kwargs: object) -> "TcpVariant":
+        return replace(self, **kwargs)
+
+
+LINUX_3_0 = TcpVariant(
+    name="linux-3.0.0",
+    congestion="newreno",
+    invalid_flags_policy=INVALID_FLAGS_INTERPRET,
+    close_wait_policy=CLOSE_WAIT_RETAIN,
+)
+
+LINUX_3_13 = TcpVariant(
+    name="linux-3.13",
+    congestion="newreno",
+    invalid_flags_policy=INVALID_FLAGS_IGNORE,
+    close_wait_policy=CLOSE_WAIT_RETAIN,
+)
+
+WINDOWS_8_1 = TcpVariant(
+    name="windows-8.1",
+    congestion="overreact",
+    invalid_flags_policy=INVALID_FLAGS_RST_PRIORITY,
+    close_wait_policy=CLOSE_WAIT_ABORT,
+    # Windows abandons undeliverable connections after far fewer
+    # retransmissions than Linux's 15 (TcpMaxDataRetransmissions=5);
+    # scaled to the shortened test window like every other timer
+    data_retries=3,
+)
+
+WINDOWS_95 = TcpVariant(
+    name="windows-95",
+    congestion="naive",
+    invalid_flags_policy=INVALID_FLAGS_IGNORE,
+    close_wait_policy=CLOSE_WAIT_ABORT,
+    initial_cwnd_segments=2,
+    data_retries=4,
+    # pre-RFC1323 stack: no window scaling
+    receive_window=65535,
+    window_scale=0,
+)
+
+TCP_VARIANTS: Dict[str, TcpVariant] = {
+    variant.name: variant
+    for variant in (LINUX_3_0, LINUX_3_13, WINDOWS_8_1, WINDOWS_95)
+}
+
+
+def get_variant(name: str) -> TcpVariant:
+    try:
+        return TCP_VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown TCP variant {name!r}; available: {sorted(TCP_VARIANTS)}"
+        ) from None

@@ -1,0 +1,98 @@
+"""Shared test fixtures: small wired testbeds for stack-level tests."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dccpstack.endpoint import DccpEndpoint
+from repro.dccpstack.variants import LINUX_3_13_DCCP, DccpVariant
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import Dumbbell
+from repro.tcpstack.endpoint import TcpEndpoint
+from repro.tcpstack.variants import LINUX_3_13, TcpVariant
+
+
+class TcpPair:
+    """Two hosts on one fast link, each with a TCP endpoint."""
+
+    def __init__(
+        self,
+        variant: TcpVariant = LINUX_3_13,
+        server_variant: Optional[TcpVariant] = None,
+        bandwidth: float = 10_000_000.0,
+        delay: float = 0.005,
+        queue: int = 64,
+        seed: int = 1,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.client_host = Host(self.sim, "client")
+        self.server_host = Host(self.sim, "server")
+        self.link = Link(self.sim, self.client_host, self.server_host, bandwidth, delay, queue)
+        self.client_host.set_default_route(self.link)
+        self.server_host.set_default_route(self.link)
+        self.client = TcpEndpoint(self.client_host, variant)
+        self.server = TcpEndpoint(self.server_host, server_variant or variant)
+
+    def run(self, until: float = 5.0) -> None:
+        self.sim.run(until=until)
+
+
+class DccpPair:
+    """Two hosts on one fast link, each with a DCCP endpoint."""
+
+    def __init__(
+        self,
+        variant: DccpVariant = LINUX_3_13_DCCP,
+        bandwidth: float = 10_000_000.0,
+        delay: float = 0.005,
+        seed: int = 1,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.client_host = Host(self.sim, "client")
+        self.server_host = Host(self.sim, "server")
+        self.link = Link(self.sim, self.client_host, self.server_host, bandwidth, delay, 64)
+        self.client_host.set_default_route(self.link)
+        self.server_host.set_default_route(self.link)
+        self.client = DccpEndpoint(self.client_host, variant)
+        self.server = DccpEndpoint(self.server_host, variant)
+
+    def run(self, until: float = 5.0) -> None:
+        self.sim.run(until=until)
+
+
+class RecordingApp:
+    """App object capturing every callback the stacks deliver."""
+
+    def __init__(self):
+        self.connected = False
+        self.bytes = 0
+        self.remote_closed = False
+        self.reset = False
+        self.closed_reason = None
+        self.acked = 0
+        self.events = []
+
+    def on_connected(self, conn):
+        self.connected = True
+        self.events.append("connected")
+
+    def on_data(self, conn, nbytes):
+        self.bytes += nbytes
+        self.events.append(("data", nbytes))
+
+    def on_acked(self, conn):
+        self.acked += 1
+
+    def on_remote_close(self, conn):
+        self.remote_closed = True
+        self.events.append("remote_close")
+
+    def on_reset(self, conn):
+        self.reset = True
+        self.events.append("reset")
+
+    def on_closed(self, conn, reason):
+        self.closed_reason = reason
+        self.events.append(("closed", reason))

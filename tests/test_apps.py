@@ -1,0 +1,76 @@
+"""Workload applications: bulk download and iperf-like flood."""
+
+import pytest
+
+from repro.apps.bulk import BulkClient, BulkServer, start_bulk_transfer
+from repro.apps.iperf import IperfSender, IperfServer, start_iperf_flow
+
+from tests.harness import DccpPair, TcpPair
+
+
+class TestBulkTransfer:
+    def test_download_completes_and_closes(self):
+        pair = TcpPair()
+        client = start_bulk_transfer(pair.server, pair.client, file_size=200_000)
+        pair.run(until=10.0)
+        assert client.bytes_received == 200_000
+        assert client.saw_remote_close
+        assert pair.server.lingering_sockets() == []
+
+    def test_server_refills_in_chunks(self):
+        pair = TcpPair()
+        server = BulkServer(pair.server, 80, file_size=300_000, chunk=10_000)
+        client = BulkClient(pair.client, "server", 80)
+        pair.run(until=10.0)
+        app = server.apps[0]
+        assert app.written == 300_000
+        assert app.finished
+
+    def test_early_exit_client(self):
+        pair = TcpPair()
+        client = start_bulk_transfer(
+            pair.server, pair.client, file_size=50_000_000, exit_after_bytes=100_000
+        )
+        pair.run(until=5.0)
+        assert client.bytes_received >= 100_000
+        assert client.conn.app_gone
+
+    def test_goodput_helper(self):
+        pair = TcpPair()
+        client = start_bulk_transfer(pair.server, pair.client, file_size=100_000)
+        pair.run(until=5.0)
+        assert client.goodput_bps(5.0) == pytest.approx(100_000 * 8 / 5.0)
+        assert client.goodput_bps(0.0) == 0.0
+
+    def test_multiple_clients_one_server(self):
+        pair = TcpPair()
+        BulkServer(pair.server, 80, file_size=100_000)
+        a = BulkClient(pair.client, "server", 80)
+        b = BulkClient(pair.client, "server", 80)
+        pair.run(until=10.0)
+        assert a.bytes_received == 100_000
+        assert b.bytes_received == 100_000
+
+
+class TestIperf:
+    def test_goodput_measured_at_server(self):
+        pair = DccpPair()
+        server = start_iperf_flow(pair.server, pair.client, stop_at=3.0)
+        pair.run(until=5.0)
+        assert server.total_bytes > 100_000
+        assert server.receivers[0].packets_received > 50
+
+    def test_sender_closes_at_stop(self):
+        pair = DccpPair()
+        server = IperfServer(pair.server, 5001)
+        sender = IperfSender(pair.client, "server", 5001, stop_at=2.0)
+        pair.run(until=6.0)
+        assert sender.conn.state in ("CLOSING", "TIMEWAIT", "CLOSED")
+        assert pair.server.lingering_sockets() == []
+
+    def test_sender_keeps_queue_topped_up(self):
+        pair = DccpPair()
+        IperfServer(pair.server, 5001)
+        sender = IperfSender(pair.client, "server", 5001, stop_at=None, queue_packets=20)
+        pair.run(until=1.0)
+        assert 0 < sender.conn.queued_packets <= 20

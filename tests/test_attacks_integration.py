@@ -1,0 +1,188 @@
+"""End-to-end reproduction of the nine Table II attacks.
+
+Each test runs the strategy SNAKE discovers through the real executor and
+asserts both the effect and the per-implementation vulnerability split the
+paper reports.
+"""
+
+import pytest
+
+from repro.core.attacks_catalog import match_known_attack
+from repro.core.detector import (
+    AttackDetector,
+    BaselineMetrics,
+    EFFECT_COMPETING_DEGRADED,
+    EFFECT_CONNECTION_PREVENTED,
+    EFFECT_INVALID_FLAG_RESPONSE,
+    EFFECT_RESOURCE_EXHAUSTION,
+    EFFECT_TARGET_DEGRADED,
+    EFFECT_TARGET_INCREASED,
+)
+from repro.core.executor import Executor, TestbedConfig
+from repro.core.strategy import Strategy
+
+TCP_VARIANTS = ("linux-3.0.0", "linux-3.13", "windows-8.1", "windows-95")
+
+
+def evaluate(protocol, variant, strategy):
+    config = TestbedConfig(protocol=protocol, variant=variant)
+    executor = Executor(config)
+    baseline = BaselineMetrics.from_runs(
+        [executor.run(None, seed=101), executor.run(None, seed=202)]
+    )
+    detector = AttackDetector(baseline)
+    return detector.evaluate(executor.run(strategy))
+
+
+SEQ_SPACE = 1 << 24
+
+
+def hsw(packet_type, payload=0, stride=262144):
+    return Strategy(1, "tcp", "hitseqwindow", params={
+        "src": "client2", "dst": "server2", "sport": 40000, "dport": 80,
+        "packet_type": packet_type, "stride": stride,
+        "count": SEQ_SPACE // stride + 2, "interval": 0.004,
+        "payload_len": payload, "space": SEQ_SPACE, "trigger": ("time", 1.0),
+    })
+
+
+class TestCloseWaitExhaustion:
+    STRATEGY = Strategy(1, "tcp", "packet", state="FIN_WAIT_2", packet_type="RST",
+                        action="drop", params={"percent": 100})
+
+    def test_linux_vulnerable(self):
+        for variant in ("linux-3.0.0", "linux-3.13"):
+            detection = evaluate("tcp", variant, self.STRATEGY)
+            assert EFFECT_RESOURCE_EXHAUSTION in detection.effects, variant
+            assert match_known_attack(self.STRATEGY, detection).name == \
+                "CLOSE_WAIT Resource Exhaustion"
+
+    def test_windows_not_vulnerable(self):
+        for variant in ("windows-8.1", "windows-95"):
+            detection = evaluate("tcp", variant, self.STRATEGY)
+            assert EFFECT_RESOURCE_EXHAUSTION not in detection.effects, variant
+
+
+class TestInvalidFlags:
+    STRATEGY = Strategy(1, "tcp", "packet", state="ESTABLISHED", packet_type="PSH+ACK",
+                        action="lie", params={"field": "flags", "mode": "zero", "operand": 0})
+
+    def test_linux_3_0_responds(self):
+        detection = evaluate("tcp", "linux-3.0.0", self.STRATEGY)
+        assert EFFECT_INVALID_FLAG_RESPONSE in detection.effects
+        assert match_known_attack(self.STRATEGY, detection).name == "Packets with Invalid Flags"
+
+    def test_fixed_implementations_silent(self):
+        for variant in ("linux-3.13", "windows-95"):
+            detection = evaluate("tcp", variant, self.STRATEGY)
+            assert EFFECT_INVALID_FLAG_RESPONSE not in detection.effects, variant
+
+    def test_windows_8_1_resets_on_invalid_rst_combo(self):
+        strategy = Strategy(1, "tcp", "packet", state="ESTABLISHED", packet_type="PSH+ACK",
+                            action="lie", params={"field": "flags", "mode": "max", "operand": 0})
+        detection = evaluate("tcp", "windows-8.1", strategy)
+        # all-flags packets carry RST; windows resets the connection
+        assert detection.target_reset
+
+
+class TestDuplicateAckSpoofing:
+    STRATEGY = Strategy(1, "tcp", "packet", state="ESTABLISHED", packet_type="ACK",
+                        action="duplicate", params={"copies": 3})
+
+    def test_windows_95_vulnerable(self):
+        detection = evaluate("tcp", "windows-95", self.STRATEGY)
+        assert EFFECT_TARGET_INCREASED in detection.effects
+        assert match_known_attack(self.STRATEGY, detection).name == \
+            "Duplicate Acknowledgment Spoofing"
+
+    def test_modern_stacks_not_fooled(self):
+        for variant in ("linux-3.13", "windows-8.1"):
+            detection = evaluate("tcp", variant, self.STRATEGY)
+            assert EFFECT_TARGET_INCREASED not in detection.effects, variant
+
+
+class TestResetAttacks:
+    @pytest.mark.parametrize("variant", TCP_VARIANTS)
+    def test_reset_attack_all_implementations(self, variant):
+        stride = 65535 if variant == "windows-95" else 262144
+        detection = evaluate("tcp", variant, hsw("RST", stride=stride))
+        assert detection.competing_reset
+        assert EFFECT_COMPETING_DEGRADED in detection.effects
+
+    @pytest.mark.parametrize("variant", TCP_VARIANTS)
+    def test_syn_reset_attack_all_implementations(self, variant):
+        stride = 65535 if variant == "windows-95" else 262144
+        detection = evaluate("tcp", variant, hsw("SYN", stride=stride))
+        assert detection.competing_reset
+
+
+class TestDuplicateAckRateLimiting:
+    STRATEGY = Strategy(1, "tcp", "packet", state="ESTABLISHED", packet_type="PSH+ACK",
+                        action="duplicate", params={"copies": 10})
+
+    def test_windows_8_1_degraded(self):
+        detection = evaluate("tcp", "windows-8.1", self.STRATEGY)
+        assert EFFECT_TARGET_DEGRADED in detection.effects or \
+            EFFECT_CONNECTION_PREVENTED in detection.effects
+        assert detection.target_ratio < 0.5
+        assert match_known_attack(self.STRATEGY, detection).name == \
+            "Duplicate Acknowledgment Rate Limiting"
+
+    def test_linux_shrugs_it_off(self):
+        detection = evaluate("tcp", "linux-3.13", self.STRATEGY)
+        assert EFFECT_TARGET_DEGRADED not in detection.effects
+
+
+class TestDccpAttacks:
+    def test_ack_mung_resource_exhaustion(self):
+        strategy = Strategy(1, "dccp", "packet", state="OPEN", packet_type="ACK",
+                            action="lie", params={"field": "ack", "mode": "zero", "operand": 0})
+        detection = evaluate("dccp", "linux-3.13-dccp", strategy)
+        assert EFFECT_RESOURCE_EXHAUSTION in detection.effects
+        assert match_known_attack(strategy, detection).name == \
+            "Acknowledgment Mung Resource Exhaustion"
+
+    def test_inwindow_ack_seqno_modification(self):
+        strategy = Strategy(1, "dccp", "packet", state="OPEN", packet_type="ACK",
+                            action="lie", params={"field": "seq", "mode": "add", "operand": 50})
+        detection = evaluate("dccp", "linux-3.13-dccp", strategy)
+        assert detection.target_ratio < 0.5
+        assert match_known_attack(strategy, detection).name == \
+            "In-window Acknowledgment Sequence Number Modification"
+
+    def test_request_connection_termination(self):
+        strategy = Strategy(1, "dccp", "inject", params={
+            "src": "server1", "dst": "client1", "sport": 5001, "dport": 42000,
+            "packet_type": "DATA", "fields": {"seq": "random", "ack": "random"},
+            "count": 1, "interval": 0.01, "payload_len": 1400,
+            "trigger": ("state", "client", "REQUEST"),
+        })
+        detection = evaluate("dccp", "linux-3.13-dccp", strategy)
+        assert EFFECT_CONNECTION_PREVENTED in detection.effects
+        assert match_known_attack(strategy, detection).name == \
+            "REQUEST Connection Termination"
+
+    def test_request_termination_needs_the_bug(self):
+        strategy = Strategy(1, "dccp", "inject", params={
+            "src": "server1", "dst": "client1", "sport": 5001, "dport": 42000,
+            "packet_type": "DATA", "fields": {"seq": "random", "ack": "random"},
+            "count": 1, "interval": 0.01, "payload_len": 1400,
+            "trigger": ("state", "client", "REQUEST"),
+        })
+        detection = evaluate("dccp", "patched-request-dccp", strategy)
+        assert EFFECT_CONNECTION_PREVENTED not in detection.effects
+
+
+class TestFalsePositiveMechanism:
+    def test_payload_sweep_without_landing_is_load_artifact(self):
+        """A dense full-MSS sweep at the ACK path congests without landing."""
+        strategy = Strategy(1, "tcp", "hitseqwindow", params={
+            "src": "client2", "dst": "server2", "sport": 40000, "dport": 80,
+            "packet_type": "PSH+ACK", "stride": 4096,
+            "count": 4000, "interval": 0.0015,
+            "payload_len": 1400, "space": SEQ_SPACE, "trigger": ("time", 1.0),
+        })
+        detection = evaluate("tcp", "linux-3.13", strategy)
+        from repro.core.classify import CLASS_FALSE_POSITIVE, classify
+        if detection.is_attack and not (detection.target_reset or detection.competing_reset):
+            assert classify(strategy, detection) == CLASS_FALSE_POSITIVE

@@ -1,0 +1,172 @@
+"""CCID 3 / TFRC: equation, loss intervals, sender, and integration."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dccpstack.ccid3 import (
+    Ccid3Sender,
+    LossIntervalEstimator,
+    tcp_throughput_equation,
+)
+from repro.dccpstack.variants import LINUX_3_13_DCCP_CCID3
+
+from tests.harness import DccpPair, RecordingApp
+
+
+class TestThroughputEquation:
+    def test_monotone_in_loss(self):
+        rates = [tcp_throughput_equation(1400, 0.1, p) for p in (0.001, 0.01, 0.1)]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_monotone_in_rtt(self):
+        fast = tcp_throughput_equation(1400, 0.01, 0.01)
+        slow = tcp_throughput_equation(1400, 0.2, 0.01)
+        assert fast > slow
+
+    def test_scales_with_segment_size(self):
+        small = tcp_throughput_equation(700, 0.1, 0.01)
+        large = tcp_throughput_equation(1400, 0.1, 0.01)
+        assert large == pytest.approx(2 * small)
+
+    def test_rejects_zero_loss(self):
+        with pytest.raises(ValueError):
+            tcp_throughput_equation(1400, 0.1, 0.0)
+
+    def test_ballpark_value(self):
+        # ~sqrt(3/2)/ (R sqrt(p)) segments/s: at R=100ms, p=1%, s=1400
+        # classic approximation gives roughly 12 segments per RTT
+        rate = tcp_throughput_equation(1400, 0.1, 0.01)
+        segments_per_rtt = rate * 0.1 / 1400
+        assert 5 < segments_per_rtt < 15
+
+
+class TestLossIntervalEstimator:
+    def test_no_loss_is_zero(self):
+        est = LossIntervalEstimator()
+        for i in range(100):
+            est.on_packet(i)
+        assert est.loss_event_rate == 0.0
+
+    def test_single_gap_starts_event(self):
+        est = LossIntervalEstimator()
+        for i in range(50):
+            est.on_packet(i)
+        est.on_packet(52)  # 50, 51 lost
+        assert est.loss_event_rate > 0.0
+
+    def test_periodic_loss_rate(self):
+        est = LossIntervalEstimator()
+        index = 0
+        for _ in range(20):  # lose one packet every 100
+            for _ in range(99):
+                est.on_packet(index)
+                index += 1
+            index += 1  # skip one
+        assert est.loss_event_rate == pytest.approx(0.01, rel=0.5)
+
+    def test_losses_within_rtt_merge_into_one_event(self):
+        est = LossIntervalEstimator()
+        for i in range(50):
+            est.on_packet(i)
+        est.on_packet(52)   # event starts
+        est.on_packet(55)   # within rtt_packets=8: same event
+        assert len(est._intervals) == 1
+
+    def test_duplicates_ignored(self):
+        est = LossIntervalEstimator()
+        for i in range(10):
+            est.on_packet(i)
+        est.on_packet(5)  # duplicate
+        assert est.loss_event_rate == 0.0
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=200))
+    def test_rate_bounded(self, gaps):
+        est = LossIntervalEstimator()
+        index = 0
+        for gap in gaps:
+            index += gap + 1
+            est.on_packet(index)
+        assert 0.0 <= est.loss_event_rate <= 0.5
+
+
+class TestCcid3Sender:
+    def test_doubles_without_loss(self):
+        sender = Ccid3Sender(1400)
+        x0 = sender.x
+        sender.on_feedback(x_recv=x0, p=0.0, rtt_sample=0.05)
+        assert sender.x == pytest.approx(2 * x0)
+
+    def test_growth_capped_by_receive_rate(self):
+        sender = Ccid3Sender(1400)
+        sender.on_feedback(x_recv=sender.MIN_RATE / 2, p=0.0, rtt_sample=0.05)
+        assert sender.x <= 2 * sender.MIN_RATE
+
+    def test_loss_applies_equation(self):
+        sender = Ccid3Sender(1400)
+        sender.on_feedback(x_recv=1e9, p=0.0, rtt_sample=0.1)
+        sender.on_feedback(x_recv=1e9, p=0.01, rtt_sample=0.1)
+        expected = tcp_throughput_equation(1400, sender.rtt, 0.01)
+        assert sender.x == pytest.approx(expected, rel=0.01)
+
+    def test_no_feedback_halves_to_floor(self):
+        sender = Ccid3Sender(1400)
+        sender.x = 100_000
+        for _ in range(20):
+            sender.on_no_feedback()
+        assert sender.x == sender.MIN_RATE
+
+    def test_send_interval(self):
+        sender = Ccid3Sender(1400)
+        sender.x = 14_000
+        assert sender.send_interval == pytest.approx(0.1)
+
+
+class TestCcid3Integration:
+    def _flow(self, seed=1, stop=6.0, until=10.0, tap=None):
+        pair = DccpPair(variant=LINUX_3_13_DCCP_CCID3, seed=seed)
+        if tap:
+            tap(pair)
+        server_app = RecordingApp()
+        pair.server.listen(5001, lambda conn: server_app)
+        from repro.apps.iperf import IperfSender
+        sender = IperfSender(pair.client, "server", 5001, stop_at=stop)
+        pair.run(until=until)
+        return pair, sender, server_app
+
+    def test_rate_ramps_and_transfers(self):
+        pair, sender, server_app = self._flow()
+        assert server_app.bytes > 300_000  # well above the floor rate
+        assert sender.conn.tfrc.feedback_count > 50
+
+    def test_clean_close(self):
+        pair, sender, server_app = self._flow()
+        assert sender.conn.state in ("TIMEWAIT", "CLOSED")
+        assert pair.server.census() == {}
+
+    def test_loss_reduces_rate_via_equation(self):
+        dropped = []
+        seen = [0]
+
+        def lossy_tap(pair):
+            def tap(packet, pipe):
+                if packet.payload_len > 0:
+                    seen[0] += 1
+                    if seen[0] % 20 == 0:
+                        dropped.append(packet)
+                        return
+                pipe.enqueue(packet)
+            pair.link.ab.tap = tap
+
+        pair, sender, server_app = self._flow(tap=lossy_tap)
+        assert dropped
+        assert sender.conn.tfrc.p > 0.0
+
+    def test_ack_starvation_pins_minimum_rate(self):
+        """The paper's ack-mung family also pins a TFRC sender at its floor."""
+        pair, sender, server_app = self._flow(stop=None, until=2.0)
+        pair.link.ba.tap = lambda packet, pipe: None  # blackhole feedback
+        pair.run(until=20.0)
+        assert sender.conn.tfrc.x == sender.conn.tfrc.MIN_RATE
+        assert sender.conn.tfrc.no_feedback_events > 3

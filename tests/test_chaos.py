@@ -1,0 +1,176 @@
+"""Failure injection: the stacks must survive hostile networks.
+
+A chaos tap randomly drops, duplicates, delays, and reorders packets.  The
+invariant under test is end-to-end correctness: TCP delivers exactly the
+bytes that were sent, in order, no matter what the network does (within
+the retransmission budget); DCCP never delivers more than was sent and
+never wedges its state machine.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.packets.packet import Packet
+from repro.packets.tcp import TcpHeader
+
+from tests.harness import DccpPair, RecordingApp, TcpPair
+
+
+class ChaosTap:
+    """Random drop/duplicate/delay interposition on one pipe."""
+
+    def __init__(self, sim, rng, drop=0.05, duplicate=0.05, delay=0.05, max_delay=0.05):
+        self.sim = sim
+        self.rng = rng
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay
+        self.max_delay = max_delay
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def __call__(self, packet, pipe):
+        roll = self.rng.random()
+        if roll < self.drop:
+            self.dropped += 1
+            return
+        if roll < self.drop + self.duplicate:
+            self.duplicated += 1
+            pipe.enqueue(packet)
+            pipe.enqueue(packet.clone())
+            return
+        if roll < self.drop + self.duplicate + self.delay:
+            self.delayed += 1
+            self.sim.schedule(self.rng.random() * self.max_delay, pipe.enqueue, packet)
+            return
+        pipe.enqueue(packet)
+
+
+class TestTcpUnderChaos:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_stream_integrity_with_light_chaos(self, seed):
+        pair = TcpPair(seed=seed)
+        chaos_ab = ChaosTap(pair.sim, pair.sim.rng)
+        chaos_ba = ChaosTap(pair.sim, pair.sim.rng)
+        pair.link.ab.tap = chaos_ab
+        pair.link.ba.tap = chaos_ba
+        server_app = RecordingApp()
+        pair.server.listen(80, lambda conn: server_app)
+        conn = pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=2.0)
+        assert conn.state == "ESTABLISHED", f"handshake failed under chaos (seed {seed})"
+        conn.app_send(300_000)
+        pair.run(until=60.0)
+        assert server_app.bytes == 300_000, (
+            f"seed {seed}: delivered {server_app.bytes}, "
+            f"dropped={chaos_ab.dropped + chaos_ba.dropped}"
+        )
+        assert chaos_ab.dropped + chaos_ba.dropped > 0, "chaos tap never fired"
+
+    def test_heavy_loss_eventually_gives_up_cleanly(self):
+        pair = TcpPair()
+        server_app = RecordingApp()
+        pair.server.listen(80, lambda conn: server_app)
+        conn = pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=1.0)
+        pair.link.ab.tap = ChaosTap(pair.sim, pair.sim.rng, drop=1.0)
+        conn.app_send(100_000)
+        # 15 retries with exponential backoff capped at 60 s need ~11 min
+        pair.run(until=800.0)
+        # the connection must terminate, not hang forever
+        assert conn.state == "CLOSED"
+        assert conn.close_reason == "retransmission-limit"
+
+    def test_no_duplicate_delivery(self):
+        """Aggressive duplication must never deliver bytes twice."""
+        pair = TcpPair()
+        chaos = ChaosTap(pair.sim, pair.sim.rng, drop=0.0, duplicate=0.5, delay=0.0)
+        pair.link.ab.tap = chaos
+        server_app = RecordingApp()
+        pair.server.listen(80, lambda conn: server_app)
+        conn = pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=1.0)
+        conn.app_send(200_000)
+        pair.run(until=30.0)
+        assert server_app.bytes == 200_000
+        assert chaos.duplicated > 0
+
+    def test_reordering_does_not_corrupt(self):
+        pair = TcpPair()
+        chaos = ChaosTap(pair.sim, pair.sim.rng, drop=0.0, duplicate=0.0,
+                         delay=0.3, max_delay=0.03)
+        pair.link.ab.tap = chaos
+        server_app = RecordingApp()
+        pair.server.listen(80, lambda conn: server_app)
+        conn = pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=1.0)
+        conn.app_send(200_000)
+        pair.run(until=30.0)
+        assert server_app.bytes == 200_000
+        assert chaos.delayed > 0
+
+
+class TestDccpUnderChaos:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_goodput_never_exceeds_sent(self, seed):
+        pair = DccpPair(seed=seed)
+        pair.link.ab.tap = ChaosTap(pair.sim, pair.sim.rng, drop=0.1)
+        server_app = RecordingApp()
+        pair.server.listen(5001, lambda conn: server_app)
+        conn = pair.client.connect("server", 5001, RecordingApp())
+        pair.run(until=1.0)
+        total = 0
+        for _ in range(100):
+            conn.app_send(conn.mss)
+            total += conn.mss
+        pair.run(until=20.0)
+        assert server_app.bytes <= total  # no retransmission -> no duplication
+        assert conn.state in ("OPEN", "PARTOPEN", "CLOSED", "CLOSING", "TIMEWAIT")
+
+    def test_total_blackhole_collapses_not_hangs(self):
+        pair = DccpPair()
+        server_app = RecordingApp()
+        pair.server.listen(5001, lambda conn: server_app)
+        conn = pair.client.connect("server", 5001, RecordingApp())
+        pair.run(until=1.0)
+        pair.link.ba.tap = ChaosTap(pair.sim, pair.sim.rng, drop=1.0)  # kill acks
+        conn.app_send(100_000)
+        pair.run(until=30.0)
+        assert conn.cc.cwnd == 1  # pinned at the minimum rate
+
+
+class TestTcpRandomSegmentFuzz:
+    """Property: arbitrary injected garbage never corrupts delivery state."""
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(
+        st.tuples(
+            st.integers(0, 0xFFFFFFFF),  # seq
+            st.integers(0, 0xFFFFFFFF),  # ack
+            st.integers(0, 0x3F),        # flags
+            st.integers(0, 1400),        # payload
+        ),
+        min_size=1, max_size=25,
+    ))
+    def test_garbage_segments(self, segments):
+        pair = TcpPair()
+        server_app = RecordingApp()
+        pair.server.listen(80, lambda conn: server_app)
+        conn = pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=1.0)
+        server_conn = next(iter(pair.server.connections.values()), None)
+        if server_conn is None:
+            return
+        for seq, ack, flags, payload in segments:
+            header = TcpHeader(sport=conn.local_port, dport=80,
+                               seq=seq, ack=ack, flags=flags)
+            server_conn.on_packet(Packet("client", "server", "tcp", header, payload))
+            # invariants that must hold after every packet
+            assert server_conn.snd_una <= server_conn.snd_nxt <= server_conn.snd_max
+            starts = [s for s, _ in server_conn._ooo]
+            assert starts == sorted(starts)
+            for (s1, e1), (s2, e2) in zip(server_conn._ooo, server_conn._ooo[1:]):
+                assert e1 < s2  # disjoint, ordered intervals
+            assert server_conn.bytes_delivered >= 0

@@ -1,0 +1,45 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.protocol == "tcp"
+        assert args.sample_every == 25
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["baseline", "--protocol", "udp"])
+
+
+class TestCommands:
+    def test_variants(self, capsys):
+        assert main(["variants"]) == 0
+        out = capsys.readouterr().out
+        assert "windows-95" in out
+        assert "linux-3.13-dccp" in out
+
+    def test_baseline(self, capsys):
+        assert main(["baseline", "--protocol", "tcp"]) == 0
+        out = capsys.readouterr().out
+        assert "target connection" in out
+        assert "ESTABLISHED" in out
+
+    def test_searchspace(self, capsys):
+        assert main(["searchspace", "--protocol", "tcp"]) == 0
+        out = capsys.readouterr().out
+        assert "state-based (SNAKE)" in out
+        assert "time-interval-based" in out
+
+    def test_campaign_sampled(self, capsys):
+        assert main(["campaign", "--protocol", "dccp", "--sample-every", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Strategies Tried" in out

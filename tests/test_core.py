@@ -1,0 +1,310 @@
+"""SNAKE core: strategies, generation, detection, classification, catalog."""
+
+import pytest
+
+from repro.core.attacks_catalog import KNOWN_ATTACKS, cluster_attacks, match_known_attack
+from repro.core.classify import CLASS_FALSE_POSITIVE, CLASS_ON_PATH, CLASS_TRUE, classify, partition
+from repro.core.detector import (
+    AttackDetector,
+    BaselineMetrics,
+    Detection,
+    EFFECT_COMPETING_DEGRADED,
+    EFFECT_CONNECTION_PREVENTED,
+    EFFECT_INVALID_FLAG_RESPONSE,
+    EFFECT_RESOURCE_EXHAUSTION,
+    EFFECT_TARGET_DEGRADED,
+    EFFECT_TARGET_INCREASED,
+)
+from repro.core.executor import RunResult, TestbedConfig
+from repro.core.generation import GenerationConfig, StrategyGenerator
+from repro.core.strategy import Strategy
+from repro.packets.dccp import DCCP_FORMAT
+from repro.packets.tcp import TCP_FORMAT
+from repro.statemachine.specs import dccp_state_machine, tcp_state_machine
+
+
+def run_result(**overrides):
+    defaults = dict(
+        strategy_id=1, protocol="tcp", variant="linux-3.13", duration=10.0,
+        target_bytes=1_000_000, competing_bytes=2_000_000,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+def baseline():
+    return BaselineMetrics(
+        target_bytes=1_000_000.0, competing_bytes=2_000_000.0,
+        server1_lingering=0.0, server2_lingering=1.0, observed_pairs=(),
+    )
+
+
+class TestStrategyModel:
+    def test_packet_strategy_requires_fields(self):
+        with pytest.raises(ValueError):
+            Strategy(1, "tcp", "packet")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Strategy(1, "tcp", "teleport")
+
+    def test_describe(self):
+        s = Strategy(7, "tcp", "packet", state="ESTABLISHED", packet_type="ACK",
+                     action="drop", params={"percent": 50})
+        assert "drop" in s.describe()
+        assert "ESTABLISHED" in s.describe()
+
+    def test_offpath_flag(self):
+        s = Strategy(1, "tcp", "inject", params={"trigger": ("time", 1.0)})
+        assert s.is_offpath
+
+
+class TestGeneration:
+    def _tcp(self):
+        return StrategyGenerator("tcp", TCP_FORMAT, tcp_state_machine())
+
+    def test_unique_ids(self):
+        generator = self._tcp()
+        strategies = generator.generate([("ESTABLISHED", "ACK")])
+        ids = [s.strategy_id for s in strategies]
+        assert len(ids) == len(set(ids))
+
+    def test_packet_strategies_scale_with_pairs(self):
+        generator = self._tcp()
+        one = len(generator.packet_strategies([("ESTABLISHED", "ACK")]))
+        generator2 = self._tcp()
+        two = len(generator2.packet_strategies([("ESTABLISHED", "ACK"), ("CLOSED", "SYN")]))
+        assert two == 2 * one
+
+    def test_checksum_never_lied_about(self):
+        generator = self._tcp()
+        lies = [s for s in generator.packet_strategies([("ESTABLISHED", "ACK")])
+                if s.action == "lie"]
+        assert all(s.params["field"] != "checksum" for s in lies)
+
+    def test_inject_covers_all_states(self):
+        generator = self._tcp()
+        strategies = generator.inject_strategies()
+        states = {s.params["trigger"][2] for s in strategies
+                  if s.params["trigger"][0] == "state"}
+        assert states == set(tcp_state_machine().states)
+
+    def test_inject_includes_competing_connection(self):
+        generator = self._tcp()
+        strategies = generator.inject_strategies()
+        assert any(s.params["dst"] == "server2" for s in strategies)
+
+    def test_hitseqwindow_strides(self):
+        generator = self._tcp()
+        strategies = generator.hitseqwindow_strategies()
+        strides = {s.params["stride"] for s in strategies}
+        cfg = generator.config
+        assert cfg.receive_window in strides
+        assert cfg.receive_window // 4 in strides
+        for s in strategies:
+            assert s.params["count"] * s.params["stride"] >= cfg.sequence_space
+
+    def test_campaign_sizes_in_paper_range(self):
+        tcp_pairs = [("CLOSED", "SYN"), ("SYN_RCVD", "SYN+ACK"), ("ESTABLISHED", "ACK"),
+                     ("ESTABLISHED", "PSH+ACK"), ("ESTABLISHED", "FIN+ACK"),
+                     ("FIN_WAIT_1", "RST"), ("FIN_WAIT_2", "RST"), ("FIN_WAIT_2", "ACK"),
+                     ("CLOSE_WAIT", "PSH+ACK"), ("CLOSED", "ACK"), ("CLOSED", "PSH+ACK"),
+                     ("CLOSED", "RST+ACK"), ("FIN_WAIT_2", "FIN+ACK")]
+        total = len(self._tcp().generate(tcp_pairs))
+        assert 4000 < total < 7000  # paper: 5013-5994
+
+        dccp = StrategyGenerator("dccp", DCCP_FORMAT, dccp_state_machine())
+        dccp_pairs = [("CLOSED", "REQUEST"), ("RESPOND", "RESPONSE"), ("OPEN", "DATAACK"),
+                      ("OPEN", "ACK"), ("PARTOPEN", "ACK"), ("PARTOPEN", "DATAACK"),
+                      ("OPEN", "CLOSE"), ("CLOSED", "ACK"), ("CLOSED", "RESET")]
+        total_dccp = len(dccp.generate(dccp_pairs))
+        assert 3500 < total_dccp < 6000  # paper: 4508
+
+    def test_dccp_types_used(self):
+        dccp = StrategyGenerator("dccp", DCCP_FORMAT, dccp_state_machine())
+        types = {s.params["packet_type"] for s in dccp.inject_strategies()}
+        assert "SYNC" in types and "REQUEST" in types
+
+
+class TestDetector:
+    def test_no_change_not_flagged(self):
+        detector = AttackDetector(baseline())
+        detection = detector.evaluate(run_result())
+        assert not detection.is_attack
+
+    def test_degradation_flagged_at_threshold(self):
+        detector = AttackDetector(baseline())
+        detection = detector.evaluate(run_result(target_bytes=400_000))
+        assert EFFECT_TARGET_DEGRADED in detection.effects
+        detection = detector.evaluate(run_result(target_bytes=600_000))
+        assert not detection.is_attack
+
+    def test_increase_flagged(self):
+        detector = AttackDetector(baseline())
+        detection = detector.evaluate(run_result(target_bytes=1_600_000))
+        assert EFFECT_TARGET_INCREASED in detection.effects
+
+    def test_competing_degradation_flagged(self):
+        detector = AttackDetector(baseline())
+        detection = detector.evaluate(run_result(competing_bytes=900_000))
+        assert EFFECT_COMPETING_DEGRADED in detection.effects
+
+    def test_connection_prevented_supersedes_degraded(self):
+        detector = AttackDetector(baseline())
+        detection = detector.evaluate(run_result(target_bytes=0))
+        assert EFFECT_CONNECTION_PREVENTED in detection.effects
+        assert EFFECT_TARGET_DEGRADED not in detection.effects
+
+    def test_lingering_socket_flagged(self):
+        detector = AttackDetector(baseline())
+        detection = detector.evaluate(run_result(server1_lingering=1, server2_lingering=1))
+        assert EFFECT_RESOURCE_EXHAUSTION in detection.effects
+
+    def test_baseline_lingering_not_flagged(self):
+        detector = AttackDetector(baseline())
+        detection = detector.evaluate(run_result(server2_lingering=1))
+        assert EFFECT_RESOURCE_EXHAUSTION not in detection.effects
+
+    def test_invalid_flag_response_flagged(self):
+        detector = AttackDetector(baseline())
+        detection = detector.evaluate(run_result(invalid_forwarded=10, invalid_responses=8))
+        assert EFFECT_INVALID_FLAG_RESPONSE in detection.effects
+
+    def test_few_invalid_packets_ignored(self):
+        detector = AttackDetector(baseline())
+        detection = detector.evaluate(run_result(invalid_forwarded=2, invalid_responses=2))
+        assert not detection.is_attack
+
+    def test_confirm_intersects_effects(self):
+        detector = AttackDetector(baseline())
+        first = detector.evaluate(run_result(target_bytes=100_000, server1_lingering=1))
+        second = detector.evaluate(run_result(target_bytes=100_000))
+        confirmed = detector.confirm(first, second)
+        assert EFFECT_TARGET_DEGRADED in confirmed.effects
+        assert EFFECT_RESOURCE_EXHAUSTION not in confirmed.effects
+
+    def test_baseline_from_runs_averages(self):
+        metrics = BaselineMetrics.from_runs([
+            run_result(target_bytes=900_000), run_result(target_bytes=1_100_000)
+        ])
+        assert metrics.target_bytes == 1_000_000.0
+
+    def test_baseline_requires_runs(self):
+        with pytest.raises(ValueError):
+            BaselineMetrics.from_runs([])
+
+
+def make_detection(effects, **kwargs):
+    return Detection(strategy_id=1, effects=list(effects), **kwargs)
+
+
+def packet_strategy(action="drop", state="ESTABLISHED", ptype="ACK", protocol="tcp", **params):
+    return Strategy(1, protocol, "packet", state=state, packet_type=ptype,
+                    action=action, params=params)
+
+
+class TestClassify:
+    def test_self_harm_manipulation_is_on_path(self):
+        strategy = packet_strategy("drop", percent=100)
+        detection = make_detection([EFFECT_TARGET_DEGRADED])
+        assert classify(strategy, detection) == CLASS_ON_PATH
+
+    def test_handshake_prevention_is_on_path(self):
+        strategy = packet_strategy("lie", state="CLOSED", ptype="SYN",
+                                   field="dport", mode="zero", operand=0)
+        detection = make_detection([EFFECT_CONNECTION_PREVENTED])
+        assert classify(strategy, detection) == CLASS_ON_PATH
+
+    def test_duplicate_exempt_from_on_path(self):
+        strategy = packet_strategy("duplicate", copies=10)
+        detection = make_detection([EFFECT_TARGET_DEGRADED])
+        assert classify(strategy, detection) == CLASS_TRUE
+
+    def test_fairness_gain_is_true(self):
+        strategy = packet_strategy("duplicate", copies=3)
+        detection = make_detection([EFFECT_TARGET_INCREASED])
+        assert classify(strategy, detection) == CLASS_TRUE
+
+    def test_resource_exhaustion_is_true(self):
+        strategy = packet_strategy("drop", state="FIN_WAIT_2", ptype="RST", percent=100)
+        detection = make_detection([EFFECT_RESOURCE_EXHAUSTION])
+        assert classify(strategy, detection) == CLASS_TRUE
+
+    def test_hitseqwindow_without_reset_is_false_positive(self):
+        strategy = Strategy(1, "tcp", "hitseqwindow",
+                            params={"packet_type": "PSH+ACK", "dst": "server2"})
+        detection = make_detection([EFFECT_COMPETING_DEGRADED])
+        assert classify(strategy, detection) == CLASS_FALSE_POSITIVE
+
+    def test_hitseqwindow_with_reset_is_true(self):
+        strategy = Strategy(1, "tcp", "hitseqwindow",
+                            params={"packet_type": "RST", "dst": "server2"})
+        detection = make_detection([EFFECT_COMPETING_DEGRADED], competing_reset=True)
+        assert classify(strategy, detection) == CLASS_TRUE
+
+    def test_partition_buckets(self):
+        flagged = [
+            (packet_strategy("drop", percent=100), make_detection([EFFECT_TARGET_DEGRADED])),
+            (packet_strategy("duplicate", copies=3), make_detection([EFFECT_TARGET_INCREASED])),
+            (Strategy(3, "tcp", "hitseqwindow", params={"packet_type": "ACK"}),
+             make_detection([EFFECT_COMPETING_DEGRADED])),
+        ]
+        on_path, false_pos, true_attacks = partition(flagged)
+        assert len(on_path) == 1 and len(false_pos) == 1 and len(true_attacks) == 1
+
+
+class TestCatalog:
+    def test_close_wait(self):
+        s = packet_strategy("drop", state="FIN_WAIT_2", ptype="RST", percent=100)
+        d = make_detection([EFFECT_RESOURCE_EXHAUSTION])
+        assert match_known_attack(s, d).name == "CLOSE_WAIT Resource Exhaustion"
+
+    def test_invalid_flags(self):
+        s = packet_strategy("lie", ptype="PSH+ACK", field="flags", mode="zero", operand=0)
+        d = make_detection([EFFECT_INVALID_FLAG_RESPONSE])
+        assert match_known_attack(s, d).name == "Packets with Invalid Flags"
+
+    def test_dup_ack_spoofing_vs_rate_limiting(self):
+        spoof = packet_strategy("duplicate", copies=3)
+        assert match_known_attack(spoof, make_detection([EFFECT_TARGET_INCREASED])).name == \
+            "Duplicate Acknowledgment Spoofing"
+        limited = packet_strategy("duplicate", ptype="PSH+ACK", copies=10)
+        assert match_known_attack(limited, make_detection([EFFECT_TARGET_DEGRADED])).name == \
+            "Duplicate Acknowledgment Rate Limiting"
+
+    def test_reset_and_syn_reset(self):
+        rst = Strategy(1, "tcp", "hitseqwindow", params={"packet_type": "RST"})
+        d = make_detection([EFFECT_COMPETING_DEGRADED], competing_reset=True)
+        assert match_known_attack(rst, d).name == "Reset Attack"
+        syn = Strategy(1, "tcp", "hitseqwindow", params={"packet_type": "SYN"})
+        assert match_known_attack(syn, d).name == "SYN-Reset Attack"
+
+    def test_dccp_ack_mung(self):
+        s = packet_strategy("lie", protocol="dccp", state="OPEN", ptype="ACK",
+                            field="ack", mode="zero", operand=0)
+        d = make_detection([EFFECT_RESOURCE_EXHAUSTION])
+        assert match_known_attack(s, d).name == "Acknowledgment Mung Resource Exhaustion"
+
+    def test_dccp_inwindow_before_mung(self):
+        s = packet_strategy("lie", protocol="dccp", state="OPEN", ptype="ACK",
+                            field="seq", mode="add", operand=50)
+        d = make_detection([EFFECT_RESOURCE_EXHAUSTION, EFFECT_TARGET_DEGRADED])
+        assert match_known_attack(s, d).name == \
+            "In-window Acknowledgment Sequence Number Modification"
+
+    def test_dccp_request_termination(self):
+        s = Strategy(1, "dccp", "inject", params={
+            "packet_type": "DATA", "trigger": ("state", "client", "REQUEST")})
+        d = make_detection([EFFECT_CONNECTION_PREVENTED])
+        assert match_known_attack(s, d).name == "REQUEST Connection Termination"
+
+    def test_unmatched_clusters_as_uncataloged(self):
+        s = packet_strategy("delay", seconds=1.0)
+        d = make_detection([EFFECT_COMPETING_DEGRADED])
+        clusters = cluster_attacks([(s, d)])
+        assert all(key.startswith("uncataloged") for key in clusters)
+
+    def test_catalog_covers_all_nine_paper_attacks(self):
+        assert len(KNOWN_ATTACKS) == 9
+        assert sum(1 for a in KNOWN_ATTACKS if a.protocol == "tcp") == 6
+        assert sum(1 for a in KNOWN_ATTACKS if a.protocol == "dccp") == 3

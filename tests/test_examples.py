@@ -1,0 +1,36 @@
+"""Examples must at least parse and expose a main() (full runs are manual)."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_structure(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} needs a docstring"
+    functions = {node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions, f"{path.name} needs a main()"
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLES) >= 5
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    """The quickstart is cheap enough to execute inside the suite."""
+    import runpy
+
+    quickstart = next(p for p in EXAMPLES if p.stem == "quickstart")
+    runpy.run_path(str(quickstart), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "CLOSE_WAIT Resource Exhaustion" in out

@@ -1,0 +1,125 @@
+"""Passive state-machine inference (k-tails) and its SNAKE integration."""
+
+import pytest
+
+from repro.netsim.trace import PacketTrace
+from repro.packets.tcp import tcp_packet_type
+from repro.statemachine.infer import (
+    events_from_trace,
+    infer_from_traces,
+    infer_state_machine,
+)
+from repro.statemachine.machine import StateMachine, TriggerEvent
+
+from tests.harness import RecordingApp, TcpPair
+
+HANDSHAKE = [("snd", "SYN"), ("rcv", "SYN+ACK"), ("snd", "ACK")]
+ACTIVE_CLOSE = HANDSHAKE + [("rcv", "ACK"), ("snd", "FIN+ACK"), ("rcv", "ACK")]
+PASSIVE_CLOSE = HANDSHAKE + [("rcv", "ACK"), ("rcv", "FIN+ACK"), ("snd", "ACK")]
+
+
+class TestInference:
+    def test_single_trace_is_a_chain(self):
+        machine = infer_state_machine([HANDSHAKE])
+        assert machine.accepts(HANDSHAKE)
+        assert len(machine.states) == len(HANDSHAKE) + 1
+
+    def test_shared_prefix_merges(self):
+        machine = infer_state_machine([ACTIVE_CLOSE, PASSIVE_CLOSE] * 3)
+        assert machine.accepts(ACTIVE_CLOSE)
+        assert machine.accepts(PASSIVE_CLOSE)
+        # the handshake prefix is shared, so the state count is well below
+        # two independent chains
+        assert len(machine.states) < len(ACTIVE_CLOSE) + len(PASSIVE_CLOSE)
+
+    def test_repeated_traces_do_not_grow_the_machine(self):
+        one = infer_state_machine([ACTIVE_CLOSE])
+        many = infer_state_machine([ACTIVE_CLOSE] * 10)
+        assert len(many.states) == len(one.states)
+
+    def test_unseen_sequences_rejected(self):
+        machine = infer_state_machine([HANDSHAKE])
+        assert not machine.accepts([("snd", "RST")])
+        assert not machine.accepts(HANDSHAKE + [("snd", "RST")])
+
+    def test_coverage_metric(self):
+        machine = infer_state_machine([HANDSHAKE])
+        assert machine.coverage([HANDSHAKE]) == 1.0
+        partial = machine.coverage([HANDSHAKE + [("snd", "RST")]])
+        assert 0.0 < partial < 1.0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            infer_state_machine([])
+
+    def test_dot_round_trip(self):
+        machine = infer_state_machine([ACTIVE_CLOSE, PASSIVE_CLOSE])
+        parsed = StateMachine.from_dot(machine.to_dot("inferred"))
+        # walking the parsed machine follows the same path
+        state = parsed.initial_state("client")
+        for direction, ptype in ACTIVE_CLOSE:
+            state = parsed.next_state(state, TriggerEvent(direction, ptype))
+            assert state is not None
+
+
+class TestEventProjection:
+    def test_projection_and_run_dedup(self):
+        pair = TcpPair()
+        trace = PacketTrace(pair.sim, tcp_packet_type)
+        trace.attach(pair.link)
+        pair.server.listen(80, lambda conn: RecordingApp())
+        conn = pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=1.0)
+        conn.app_send(200_000)
+        pair.run(until=4.0)
+        events = events_from_trace(trace, "client")
+        assert events[0] == ("snd", "SYN")
+        assert events[1] == ("rcv", "SYN+ACK")
+        # hundreds of data packets collapse into a handful of run-deduped events
+        assert len(events) < 30
+
+    def test_foreign_endpoint_empty(self):
+        pair = TcpPair()
+        trace = PacketTrace(pair.sim, tcp_packet_type)
+        trace.attach(pair.link)
+        pair.server.listen(80, lambda conn: RecordingApp())
+        pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=1.0)
+        assert events_from_trace(trace, "stranger") == []
+
+
+class TestEndToEndInference:
+    def test_inferred_machine_covers_fresh_connections(self):
+        """Infer from three captured connections; a fourth must conform."""
+        sequences = []
+        for seed in (1, 2, 3, 4):
+            pair = TcpPair(seed=seed)
+            trace = PacketTrace(pair.sim, tcp_packet_type)
+            trace.attach(pair.link)
+            pair.server.listen(80, lambda conn: RecordingApp())
+            conn = pair.client.connect("server", 80, RecordingApp())
+            pair.run(until=1.0)
+            conn.app_send(50_000)
+            pair.run(until=3.0)
+            conn.app_close()
+            pair.run(until=4.0)
+            server_conns = list(pair.server.connections.values())
+            if server_conns:
+                server_conns[0].app_close()
+            pair.run(until=6.0)
+            sequences.append(events_from_trace(trace, "client"))
+        machine = infer_state_machine(sequences[:3], k=2)
+        assert machine.coverage([sequences[3]]) > 0.9
+
+    def test_infer_from_traces_convenience(self):
+        traces = []
+        for seed in (1, 2):
+            pair = TcpPair(seed=seed)
+            trace = PacketTrace(pair.sim, tcp_packet_type)
+            trace.attach(pair.link)
+            pair.server.listen(80, lambda conn: RecordingApp())
+            conn = pair.client.connect("server", 80, RecordingApp())
+            pair.run(until=1.0)
+            traces.append(trace)
+        machine = infer_from_traces(traces, "client")
+        assert machine.states

@@ -1,0 +1,268 @@
+"""Attack proxy: basic attacks, rule matching, campaigns, feedback."""
+
+import pytest
+
+from repro.apps.bulk import BulkClient, BulkServer
+from repro.netsim.simulator import Simulator
+from repro.netsim.topology import Dumbbell
+from repro.packets.packet import Packet
+from repro.packets.tcp import TcpHeader, tcp_packet_type
+from repro.proxy.attacks import (
+    BatchAction,
+    DelayAction,
+    DropAction,
+    DuplicateAction,
+    LieAction,
+    ReflectAction,
+    make_packet_action,
+)
+from repro.proxy.craft import craft_dccp_packet, craft_packet, craft_tcp_packet
+from repro.proxy.injection import HitSeqWindowCampaign, InjectCampaign
+from repro.proxy.proxy import AttackProxy
+from repro.statemachine.specs import tcp_state_machine
+from repro.statemachine.tracker import StateTracker
+from repro.tcpstack.endpoint import TcpEndpoint
+from repro.tcpstack.variants import LINUX_3_0, LINUX_3_13
+
+
+def build_testbed(variant=LINUX_3_13, seed=7):
+    sim = Simulator(seed=seed)
+    dumbbell = Dumbbell(sim)
+    endpoints = {
+        name: TcpEndpoint(dumbbell.host(name), variant, iss_space=1 << 24)
+        for name in ("client1", "client2", "server1", "server2")
+    }
+    BulkServer(endpoints["server1"], 80, 50_000_000)
+    tracker = StateTracker(tcp_state_machine(), "client1", "server1", tcp_packet_type)
+    proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "tcp", tracker)
+    return sim, dumbbell, endpoints, proxy
+
+
+class TestBasicAttackActions:
+    def _apply(self, action, packet=None, seed=0):
+        sim, dumbbell, endpoints, proxy = build_testbed(seed=seed)
+        packet = packet or Packet("server1", "client1", "tcp", TcpHeader(), 100)
+        return action.apply(packet, proxy, "ingress"), proxy
+
+    def test_drop_100_percent(self):
+        deliveries, _ = self._apply(DropAction(100))
+        assert deliveries == []
+
+    def test_drop_0_percent_forwards(self):
+        deliveries, _ = self._apply(DropAction(0))
+        assert len(deliveries) == 1
+
+    def test_drop_probability_statistics(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        action = DropAction(50)
+        packet = Packet("server1", "client1", "tcp", TcpHeader(), 100)
+        kept = sum(bool(action.apply(packet, proxy, "ingress")) for _ in range(400))
+        assert 120 < kept < 280  # roughly half
+
+    def test_drop_validates_percent(self):
+        with pytest.raises(ValueError):
+            DropAction(101)
+
+    def test_duplicate_copies(self):
+        deliveries, _ = self._apply(DuplicateAction(3))
+        assert len(deliveries) == 4
+        originals = {id(p) for _, p in deliveries}
+        assert len(originals) == 4  # all distinct objects
+
+    def test_delay_defers(self):
+        deliveries, _ = self._apply(DelayAction(2.5))
+        assert deliveries[0][0] == 2.5
+
+    def test_batch_aligns_to_window(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        action = BatchAction(1.0)
+        packet = Packet("server1", "client1", "tcp", TcpHeader(), 100)
+        first = action.apply(packet, proxy, "ingress")
+        assert first[0][0] == pytest.approx(1.0)
+        sim.schedule(0.4, lambda: None)
+        sim.run(until=0.4)
+        second = action.apply(packet.clone(), proxy, "ingress")
+        assert second[0][0] == pytest.approx(0.6)
+
+    def test_reflect_swaps_addresses_and_ports(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        header = TcpHeader(sport=80, dport=40000)
+        header.flags_set("syn")
+        packet = Packet("server1", "client1", "tcp", header, 0)
+        deliveries = ReflectAction().apply(packet, proxy, "ingress")
+        assert deliveries == []
+        assert proxy.tap.injected == 1
+
+    def test_lie_modes(self):
+        packet = Packet("server1", "client1", "tcp", TcpHeader(seq=100), 0)
+        cases = {
+            ("zero", 0): 0,
+            ("max", 0): 0xFFFFFFFF,
+            ("set", 42): 42,
+            ("add", 5): 105,
+            ("sub", 5): 95,
+            ("mul", 3): 300,
+            ("div", 4): 25,
+        }
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        for (mode, operand), expected in cases.items():
+            deliveries = LieAction("seq", mode, operand).apply(packet, proxy, "ingress")
+            assert deliveries[0][1].header.seq == expected, mode
+
+    def test_lie_random_in_range(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        packet = Packet("server1", "client1", "tcp", TcpHeader(), 0)
+        deliveries = LieAction("flags", "random").apply(packet, proxy, "ingress")
+        assert 0 <= deliveries[0][1].header.flags <= 0xFF
+
+    def test_lie_does_not_mutate_original(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        packet = Packet("server1", "client1", "tcp", TcpHeader(seq=7), 0)
+        LieAction("seq", "zero").apply(packet, proxy, "ingress")
+        assert packet.header.seq == 7
+
+    def test_lie_validation(self):
+        with pytest.raises(ValueError):
+            LieAction("seq", "teleport")
+        with pytest.raises(ValueError):
+            LieAction("seq", "div", 0)
+
+    def test_factory(self):
+        assert isinstance(make_packet_action("drop", percent=10), DropAction)
+        with pytest.raises(ValueError):
+            make_packet_action("nuke")
+
+
+class TestCraft:
+    def test_tcp_flags_combo(self):
+        packet = craft_tcp_packet("a", "b", 1, 2, "SYN+ACK", fields={"seq": 7})
+        assert tcp_packet_type(packet.header) == "SYN+ACK"
+        assert packet.header.seq == 7
+
+    def test_tcp_none_flags(self):
+        packet = craft_tcp_packet("a", "b", 1, 2, "NONE")
+        assert tcp_packet_type(packet.header) == "NONE"
+
+    def test_dccp_type(self):
+        packet = craft_dccp_packet("a", "b", 1, 2, "SYNC", fields={"seq": 9})
+        assert packet.header.packet_type == "SYNC"
+
+    def test_generic_dispatch(self):
+        assert craft_packet("tcp", "a", "b", 1, 2, "RST").proto == "tcp"
+        assert craft_packet("dccp", "a", "b", 1, 2, "RESET").proto == "dccp"
+        with pytest.raises(ValueError):
+            craft_packet("udp", "a", "b", 1, 2, "X")
+
+
+class TestProxyRules:
+    def test_rule_matches_state_and_type(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        proxy.add_packet_rule("ESTABLISHED", "ACK", DropAction(100))
+        client = BulkClient(endpoints["client1"], "server1", 80)
+        sim.run(until=3.0)
+        assert proxy.matched > 0
+        # dropping every ACK in ESTABLISHED stalls the transfer early
+        assert client.bytes_received < 200_000
+
+    def test_non_matching_traffic_untouched(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        proxy.add_packet_rule("LISTEN", "RST", DropAction(100))  # never observed
+        client = BulkClient(endpoints["client1"], "server1", 80)
+        sim.run(until=3.0)
+        assert proxy.matched == 0
+        assert client.bytes_received > 500_000
+
+    def test_other_protocols_pass_through(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        proxy.add_packet_rule("ESTABLISHED", "ACK", DropAction(100))
+        seen = []
+        endpoints["server1"].host.register_protocol("udpish", type("X", (), {
+            "on_packet": staticmethod(lambda p: seen.append(p))
+        }))
+        from repro.packets.dccp import make_dccp_header
+        dumbbell.client1.send(Packet("client1", "server1", "udpish", TcpHeader(), 10))
+        sim.run(until=1.0)
+        assert len(seen) == 1
+
+    def test_report_contains_feedback(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        BulkClient(endpoints["client1"], "server1", 80)
+        sim.run(until=3.0)
+        report = proxy.report()
+        assert report.intercepted > 100
+        assert ("ESTABLISHED", "ACK") in report.observed_pairs
+        assert report.client_states_visited["ESTABLISHED"] >= 1
+
+
+class TestInvalidFlagCorrelation:
+    def _run(self, variant):
+        sim, dumbbell, endpoints, proxy = build_testbed(variant=variant)
+        proxy.add_packet_rule("ESTABLISHED", "PSH+ACK", LieAction("flags", "zero"))
+        BulkClient(endpoints["client1"], "server1", 80)
+        sim.run(until=5.0)
+        return proxy.report()
+
+    def test_interpreting_stack_measured_as_responding(self):
+        report = self._run(LINUX_3_0)
+        assert report.invalid_forwarded > 3
+        assert report.invalid_response_rate > 0.5
+
+    def test_ignoring_stack_measured_as_silent(self):
+        report = self._run(LINUX_3_13)
+        assert report.invalid_forwarded > 3
+        assert report.invalid_response_rate < 0.25
+
+
+class TestCampaigns:
+    def test_inject_time_trigger(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        campaign = InjectCampaign("tcp", "server1", "client1", 80, 40000, "RST",
+                                  trigger=("time", 0.5), count=3)
+        proxy.add_campaign(campaign)
+        sim.run(until=2.0)
+        assert campaign.fired == 3
+        assert proxy.tap.injected == 3
+
+    def test_inject_state_trigger(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        campaign = InjectCampaign("tcp", "server1", "client1", 80, 40000, "ACK",
+                                  trigger=("state", "client", "ESTABLISHED"), count=1)
+        proxy.add_campaign(campaign)
+        BulkClient(endpoints["client1"], "server1", 80)
+        sim.run(until=2.0)
+        assert campaign.fired == 1
+
+    def test_inject_random_fields(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        campaign = InjectCampaign("tcp", "server1", "client1", 80, 40000, "ACK",
+                                  trigger=("time", 0.1), fields={"seq": "random"}, count=2)
+        proxy.add_campaign(campaign)
+        sim.run(until=1.0)
+        assert campaign.fired == 2
+
+    def test_hitseqwindow_covers_space(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        space = 1 << 20
+        stride = 1 << 16
+        seqs = []
+        original = proxy.inject_toward
+        proxy.inject_toward = lambda p: seqs.append(p.header.seq)
+        campaign = HitSeqWindowCampaign("tcp", "client2", "server2", 40000, 80, "RST",
+                                        trigger=("time", 0.0), stride=stride,
+                                        count=space // stride + 1, space=space)
+        campaign.fire(proxy)
+        sim.run(until=2.0)
+        # every window-sized bucket of the space is hit
+        buckets = {seq // stride for seq in seqs}
+        assert buckets == set(range(space // stride))
+
+    def test_bad_trigger_rejected(self):
+        sim, dumbbell, endpoints, proxy = build_testbed()
+        campaign = InjectCampaign("tcp", "a", "b", 1, 2, "ACK", trigger=("moon", 1))
+        with pytest.raises(ValueError):
+            proxy.add_campaign(campaign)
+
+    def test_hitseqwindow_validation(self):
+        with pytest.raises(ValueError):
+            HitSeqWindowCampaign("tcp", "a", "b", 1, 2, "RST",
+                                 trigger=("time", 0.0), stride=0, count=1)

@@ -1,0 +1,140 @@
+"""Link tap: interception, verdicts, and injection."""
+
+import pytest
+
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.simulator import Simulator
+from repro.netsim.tap import EGRESS, INGRESS, LinkTap, TapVerdict
+from repro.packets.packet import Packet
+from repro.packets.tcp import TcpHeader
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def on_packet(self, packet):
+        self.packets.append(packet)
+
+
+def setup():
+    sim = Simulator()
+    client, router = Host(sim, "client"), Host(sim, "router")
+    link = Link(sim, client, router, 1_000_000, 0.001)
+    client.set_default_route(link)
+    collector = Collector()
+    router.register_protocol("tcp", collector)
+    return sim, client, router, link, collector
+
+
+def packet(src="client", dst="router"):
+    return Packet(src, dst, "tcp", TcpHeader(), 100)
+
+
+class TestTapVerdicts:
+    def test_passthrough_without_handler(self):
+        sim, client, router, link, collector = setup()
+        tap = LinkTap(sim, link, client)
+        client.send(packet())
+        sim.run()
+        assert len(collector.packets) == 1
+        assert tap.intercepted == 1
+
+    def test_drop_verdict(self):
+        sim, client, router, link, collector = setup()
+        tap = LinkTap(sim, link, client, handler=lambda p, d: TapVerdict.drop())
+        client.send(packet())
+        sim.run()
+        assert collector.packets == []
+        assert tap.dropped == 1
+
+    def test_duplicate_verdict(self):
+        sim, client, router, link, collector = setup()
+
+        def dup(p, d):
+            return TapVerdict([(0.0, p), (0.0, p.clone())])
+
+        LinkTap(sim, link, client, handler=dup)
+        client.send(packet())
+        sim.run()
+        assert len(collector.packets) == 2
+
+    def test_delay_verdict(self):
+        sim, client, router, link, collector = setup()
+        LinkTap(sim, link, client, handler=lambda p, d: TapVerdict([(0.5, p)]))
+        client.send(packet())
+        sim.run()
+        assert len(collector.packets) == 1
+        assert sim.now >= 0.5
+
+    def test_direction_reported(self):
+        sim, client, router, link, collector = setup()
+        directions = []
+
+        def record(p, d):
+            directions.append(d)
+            return TapVerdict.forward(p)
+
+        LinkTap(sim, link, client, handler=record)
+        client.send(packet())  # egress from client
+        router.send(packet("router", "client"))  # ...router has no route; set one
+        sim.run()
+        assert EGRESS in directions
+
+    def test_ingress_direction(self):
+        sim, client, router, link, collector = setup()
+        router.add_route("client", link)
+        directions = []
+
+        def record(p, d):
+            directions.append(d)
+            return TapVerdict.forward(p)
+
+        LinkTap(sim, link, client, handler=record)
+        router.send(packet("router", "client"))
+        sim.run()
+        assert directions == [INGRESS]
+
+    def test_remove_restores_passthrough(self):
+        sim, client, router, link, collector = setup()
+        tap = LinkTap(sim, link, client, handler=lambda p, d: TapVerdict.drop())
+        tap.remove()
+        client.send(packet())
+        sim.run()
+        assert len(collector.packets) == 1
+
+
+class TestInjection:
+    def test_inject_egress_reaches_far_side(self):
+        sim, client, router, link, collector = setup()
+        tap = LinkTap(sim, link, client)
+        tap.inject(packet("spoofed", "router"), EGRESS)
+        sim.run()
+        assert len(collector.packets) == 1
+        assert collector.packets[0].src == "spoofed"
+        assert tap.injected == 1
+
+    def test_inject_ingress_reaches_tapped_host(self):
+        sim, client, router, link, collector = setup()
+        client_collector = Collector()
+        client.register_protocol("tcp", client_collector)
+        tap = LinkTap(sim, link, client)
+        tap.inject(packet("spoofed", "client"), INGRESS)
+        sim.run()
+        assert len(client_collector.packets) == 1
+
+    def test_inject_with_delay(self):
+        sim, client, router, link, collector = setup()
+        tap = LinkTap(sim, link, client)
+        tap.inject(packet(), EGRESS, delay=1.0)
+        sim.run()
+        assert sim.now >= 1.0
+        assert len(collector.packets) == 1
+
+    def test_injected_packets_bypass_handler(self):
+        sim, client, router, link, collector = setup()
+        tap = LinkTap(sim, link, client, handler=lambda p, d: TapVerdict.drop())
+        tap.inject(packet(), EGRESS)
+        sim.run()
+        assert len(collector.packets) == 1

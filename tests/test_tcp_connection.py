@@ -1,0 +1,372 @@
+"""TCP engine: handshake, transfer, reliability, teardown, attack surfaces."""
+
+import pytest
+
+from repro.packets.packet import Packet
+from repro.packets.tcp import TcpHeader
+from repro.tcpstack.variants import (
+    LINUX_3_0,
+    LINUX_3_13,
+    WINDOWS_8_1,
+    WINDOWS_95,
+)
+
+from tests.harness import RecordingApp, TcpPair
+
+
+def establish(pair, client_app=None, server_app=None):
+    """Connect client->server:80 and run until established."""
+    server_app = server_app if server_app is not None else RecordingApp()
+    pair.server.listen(80, lambda conn: server_app)
+    client_app = client_app if client_app is not None else RecordingApp()
+    conn = pair.client.connect("server", 80, client_app)
+    pair.run(until=1.0)
+    return conn, client_app, server_app
+
+
+class TestHandshake:
+    def test_three_way_handshake(self):
+        pair = TcpPair()
+        conn, client_app, server_app = establish(pair)
+        assert conn.state == "ESTABLISHED"
+        assert client_app.connected
+        assert server_app.connected
+        server_conn = next(iter(pair.server.connections.values()))
+        assert server_conn.state == "ESTABLISHED"
+
+    def test_connect_to_closed_port_fails(self):
+        pair = TcpPair()
+        app = RecordingApp()
+        conn = pair.client.connect("server", 81, app)
+        pair.run(until=2.0)
+        assert conn.state == "CLOSED"
+        assert app.reset
+
+    def test_syn_retransmission_limit(self):
+        pair = TcpPair()
+        # break the link so SYNs vanish
+        pair.link.ab.tap = lambda packet, pipe: None
+        app = RecordingApp()
+        conn = pair.client.connect("server", 80, app)
+        pair.run(until=120.0)
+        assert conn.state == "CLOSED"
+        assert app.closed_reason == "connect-timeout"
+
+    def test_mss_negotiated_to_minimum(self):
+        pair = TcpPair()
+        pair.client.variant = LINUX_3_13.with_overrides(mss=500)
+        conn, _, _ = establish(pair)
+        server_conn = next(iter(pair.server.connections.values()))
+        assert server_conn.mss == 500
+        assert conn.mss == 500
+
+
+class TestDataTransfer:
+    def test_bytes_delivered_in_order(self):
+        pair = TcpPair()
+        conn, client_app, server_app = establish(pair)
+        conn.app_send(50_000)
+        pair.run(until=3.0)
+        assert server_app.bytes == 50_000
+
+    def test_large_transfer_completes(self):
+        pair = TcpPair()
+        conn, _, server_app = establish(pair)
+        conn.app_send(500_000)
+        pair.run(until=10.0)
+        assert server_app.bytes == 500_000
+        assert conn.unacked_bytes == 0
+
+    def test_recovery_from_loss(self):
+        pair = TcpPair()
+        conn, _, server_app = establish(pair)
+        # drop exactly one data packet
+        dropped = []
+
+        def lossy(packet, pipe):
+            if packet.payload_len > 0 and not dropped:
+                dropped.append(packet)
+                return
+            pipe.enqueue(packet)
+
+        pair.link.ab.tap = lossy
+        conn.app_send(200_000)
+        pair.run(until=10.0)
+        assert dropped, "tap never saw a data packet"
+        assert server_app.bytes == 200_000
+        assert conn.retransmissions >= 1
+
+    def test_out_of_order_reassembly(self):
+        pair = TcpPair()
+        conn, _, server_app = establish(pair)
+        # delay one packet so later ones arrive first
+        state = {"held": None}
+
+        def reorder(packet, pipe):
+            if packet.payload_len > 0 and state["held"] is None:
+                state["held"] = packet
+                pair.sim.schedule(0.05, pipe.enqueue, packet)
+                return
+            pipe.enqueue(packet)
+
+        pair.link.ab.tap = reorder
+        conn.app_send(100_000)
+        pair.run(until=5.0)
+        assert server_app.bytes == 100_000
+
+    def test_retransmission_limit_force_closes(self):
+        pair = TcpPair(variant=LINUX_3_13.with_overrides(data_retries=3))
+        conn, _, server_app = establish(pair)
+        pair.link.ab.tap = lambda packet, pipe: None  # blackhole client->server
+        conn.app_send(10_000)
+        pair.run(until=120.0)
+        assert conn.state == "CLOSED"
+        assert conn.close_reason == "retransmission-limit"
+
+    def test_push_marks_on_write_boundaries(self):
+        pair = TcpPair()
+        conn, _, _ = establish(pair)
+        pushed = []
+
+        def watch(packet, pipe):
+            if packet.payload_len > 0 and packet.header.has_flag("flags", "psh"):
+                pushed.append(packet)
+            pipe.enqueue(packet)
+
+        pair.link.ab.tap = watch
+        for _ in range(5):
+            conn.app_send(16_000)
+        pair.run(until=3.0)
+        assert len(pushed) >= 4  # roughly one PSH per app write
+
+    def test_flow_control_respects_peer_window(self):
+        pair = TcpPair(variant=LINUX_3_13.with_overrides(receive_window=8192, window_scale=0))
+        conn, _, server_app = establish(pair)
+        conn.app_send(100_000)
+        pair.run(until=1.002)  # before first ACKs return
+        assert conn.unacked_bytes <= 8192 + conn.mss
+
+
+class TestTeardown:
+    def test_clean_close_both_sides(self):
+        pair = TcpPair()
+        conn, client_app, server_app = establish(pair)
+        conn.app_send(10_000)
+        pair.run(until=2.0)
+        conn.app_close()
+        pair.run(until=3.0)
+        server_conn_state = pair.server.census()
+        assert server_app.remote_closed
+        # server replies with its own close once the app closes
+        server_conns = list(pair.server.connections.values())
+        if server_conns:
+            server_conns[0].app_close()
+        pair.run(until=8.0)
+        assert conn.state == "CLOSED"
+        assert pair.server.census() == {}
+
+    def test_fin_acked_transitions(self):
+        pair = TcpPair()
+        conn, _, server_app = establish(pair)
+        conn.app_close()
+        pair.run(until=2.0)
+        assert conn.state in ("FIN_WAIT_2", "TIME_WAIT", "CLOSED")
+
+    def test_app_exit_sends_fin_then_rsts_data(self):
+        pair = TcpPair()
+        conn, _, server_app = establish(pair)
+        server_conn = next(iter(pair.server.connections.values()))
+        server_conn.app_send(20_000_000)  # server streams to client
+        pair.run(until=1.5)
+        conn.app_exit()
+        resets = []
+
+        def watch(packet, pipe):
+            if packet.header.has_flag("flags", "rst"):
+                resets.append(packet)
+            pipe.enqueue(packet)
+
+        pair.link.ab.tap = watch
+        pair.run(until=2.0)
+        assert conn.app_gone
+        assert resets, "client should reset data for the dead process"
+
+    def test_abort_sends_rst(self):
+        pair = TcpPair()
+        conn, _, server_app = establish(pair)
+        conn.app_abort()
+        pair.run(until=2.0)
+        assert conn.state == "CLOSED"
+        assert pair.server.census() == {}  # server saw the RST
+
+    def test_time_wait_expires(self):
+        pair = TcpPair()
+        conn, client_app, server_app = establish(pair)
+        conn.app_close()
+        pair.run(until=1.5)
+        server_conn = next(iter(pair.server.connections.values()))
+        server_conn.app_close()
+        pair.run(until=10.0)
+        assert pair.client.census() == {}
+        assert pair.server.census() == {}
+
+
+class TestResetSurfaces:
+    def _inject_to_server(self, pair, header, payload=0):
+        server_conn = next(iter(pair.server.connections.values()))
+        packet = Packet("client", "server", "tcp", header, payload)
+        server_conn.on_packet(packet)
+        return server_conn
+
+    def test_in_window_rst_resets(self):
+        pair = TcpPair()
+        conn, _, _ = establish(pair)
+        server_conn = next(iter(pair.server.connections.values()))
+        header = TcpHeader(sport=conn.local_port, dport=80,
+                           seq=(server_conn.rcv_nxt + 1000) & 0xFFFFFFFF)
+        header.flags_set("rst")
+        self._inject_to_server(pair, header)
+        assert server_conn.state == "CLOSED"
+        assert server_conn.close_reason == "reset-by-peer"
+
+    def test_out_of_window_rst_ignored(self):
+        pair = TcpPair()
+        conn, _, _ = establish(pair)
+        server_conn = next(iter(pair.server.connections.values()))
+        header = TcpHeader(sport=conn.local_port, dport=80,
+                           seq=(server_conn.rcv_nxt + server_conn.rcv_wnd + 99999) & 0xFFFFFFFF)
+        header.flags_set("rst")
+        self._inject_to_server(pair, header)
+        assert server_conn.state == "ESTABLISHED"
+
+    def test_in_window_syn_resets(self):
+        pair = TcpPair()
+        conn, _, _ = establish(pair)
+        server_conn = next(iter(pair.server.connections.values()))
+        header = TcpHeader(sport=conn.local_port, dport=80,
+                           seq=(server_conn.rcv_nxt + 10) & 0xFFFFFFFF)
+        header.flags_set("syn")
+        self._inject_to_server(pair, header)
+        assert server_conn.state == "CLOSED"
+        assert server_conn.close_reason == "syn-in-window"
+
+    def test_junk_rst_in_syn_rcvd_ignored(self):
+        """Blind RSTs must not kill a handshake in SYN_RCVD."""
+        pair = TcpPair()
+        server_app = RecordingApp()
+        pair.server.listen(80, lambda conn: server_app)
+        conn = pair.client.connect("server", 80, RecordingApp())
+        syn = TcpHeader(sport=conn.local_port, dport=80, seq=conn.iss)
+        syn.flags_set("syn")
+        pair.server.on_packet(Packet("client", "server", "tcp", syn, 0))
+        server_conn = next(iter(pair.server.connections.values()))
+        assert server_conn.state == "SYN_RCVD"
+        junk = TcpHeader(sport=conn.local_port, dport=80, seq=0xDEAD0000)
+        junk.flags_set("rst")
+        pair.server.on_packet(Packet("client", "server", "tcp", junk, 0))
+        assert server_conn.state == "SYN_RCVD"
+
+
+class TestInvalidFlagPolicies:
+    def _send_invalid(self, pair, flags=()):
+        """Deliver a flags-combination packet to the established client conn."""
+        conn = next(iter(pair.client.connections.values()))
+        header = TcpHeader(sport=80, dport=conn.local_port,
+                           seq=conn.rcv_nxt & 0xFFFFFFFF)
+        for flag in flags:
+            header.set_flag("flags", flag)
+        before = conn.segments_sent
+        conn.on_packet(Packet("server", "client", "tcp", header, 0))
+        return conn, conn.segments_sent - before
+
+    def test_interpret_responds_to_flagless(self):
+        pair = TcpPair(variant=LINUX_3_0)
+        establish(pair)
+        conn, responses = self._send_invalid(pair, flags=())
+        assert conn.invalid_flag_packets == 1
+        assert responses == 1  # duplicate ACK
+
+    def test_ignore_is_silent(self):
+        pair = TcpPair(variant=LINUX_3_13)
+        establish(pair)
+        conn, responses = self._send_invalid(pair, flags=())
+        assert conn.invalid_flag_packets == 1
+        assert responses == 0
+        assert conn.state == "ESTABLISHED"
+
+    def test_rst_priority_resets_on_invalid_rst_combo(self):
+        pair = TcpPair(variant=WINDOWS_8_1)
+        establish(pair)
+        conn, _ = self._send_invalid(pair, flags=("syn", "fin", "rst", "ack"))
+        assert conn.state == "CLOSED"
+
+    def test_rst_priority_ignores_other_invalid(self):
+        pair = TcpPair(variant=WINDOWS_8_1)
+        establish(pair)
+        conn, responses = self._send_invalid(pair, flags=("syn", "fin"))
+        assert conn.state == "ESTABLISHED"
+        assert responses == 0
+
+    def test_windows95_ignores_invalid(self):
+        pair = TcpPair(variant=WINDOWS_95)
+        establish(pair)
+        conn, responses = self._send_invalid(pair, flags=("syn", "fin", "rst"))
+        assert conn.state == "ESTABLISHED"
+        assert responses == 0
+
+
+class TestCloseWaitPolicies:
+    def _stuck_close_wait(self, variant):
+        """Server streams, client exits, client RSTs blackholed."""
+        pair = TcpPair(variant=variant)
+        conn, client_app, server_app = establish(pair)
+        server_conn = next(iter(pair.server.connections.values()))
+        server_conn.app_send(2_000_000)
+        pair.run(until=1.3)
+        conn.app_exit()
+
+        def drop_rst(packet, pipe):
+            if packet.header.has_flag("flags", "rst"):
+                return
+            pipe.enqueue(packet)
+
+        pair.link.ab.tap = drop_rst
+        pair.run(until=30.0)
+        return pair, server_conn
+
+    def test_linux_retains_close_wait(self):
+        pair, server_conn = self._stuck_close_wait(LINUX_3_13)
+        assert server_conn.state == "CLOSE_WAIT"
+
+    def test_windows_abandons_connection(self):
+        pair, server_conn = self._stuck_close_wait(WINDOWS_8_1)
+        assert server_conn.state == "CLOSED"
+        assert server_conn.close_reason == "retransmission-limit"
+
+    def test_close_wait_abort_policy_on_app_close(self):
+        pair = TcpPair(variant=WINDOWS_8_1)
+        conn, client_app, server_app = establish(pair)
+        server_conn = next(iter(pair.server.connections.values()))
+        server_conn.app_send(2_000_000)
+        pair.run(until=1.3)
+        conn.app_exit()
+        pair.link.ab.tap = lambda p, pipe: None if p.header.has_flag("flags", "rst") else pipe.enqueue(p)
+        pair.run(until=1.6)
+        assert server_conn.state == "CLOSE_WAIT"
+        server_conn.app_close()  # Windows: abort rather than linger
+        assert server_conn.state == "CLOSED"
+        assert server_conn.close_reason == "close-wait-abort"
+
+
+class TestWindowScaling:
+    def test_scaled_window_advertised(self):
+        pair = TcpPair()
+        conn, _, _ = establish(pair)
+        assert conn.peer_wscale == LINUX_3_13.window_scale
+        assert conn.peer_window > 65535  # unscaled cap would be 65535
+
+    def test_win95_no_scaling(self):
+        pair = TcpPair(variant=WINDOWS_95)
+        conn, _, _ = establish(pair)
+        assert conn.peer_wscale == 0
+        assert conn.peer_window <= 65535

@@ -1,0 +1,111 @@
+"""TCP endpoint: demultiplexing, listeners, port allocation, census."""
+
+import pytest
+
+from repro.packets.packet import Packet
+from repro.packets.tcp import TcpHeader
+
+from tests.harness import RecordingApp, TcpPair
+
+
+class TestListeners:
+    def test_listen_duplicate_port_rejected(self):
+        pair = TcpPair()
+        pair.server.listen(80, lambda conn: RecordingApp())
+        with pytest.raises(ValueError):
+            pair.server.listen(80, lambda conn: RecordingApp())
+
+    def test_stop_listening(self):
+        pair = TcpPair()
+        pair.server.listen(80, lambda conn: RecordingApp())
+        pair.server.stop_listening(80)
+        app = RecordingApp()
+        conn = pair.client.connect("server", 80, app)
+        pair.run(until=1.0)
+        assert conn.state == "CLOSED"
+        assert app.reset
+
+    def test_app_factory_called_per_connection(self):
+        pair = TcpPair()
+        apps = []
+
+        def factory(conn):
+            app = RecordingApp()
+            apps.append(app)
+            return app
+
+        pair.server.listen(80, factory)
+        pair.client.connect("server", 80, RecordingApp())
+        pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=1.0)
+        assert len(apps) == 2
+        assert all(app.connected for app in apps)
+
+
+class TestDemux:
+    def test_ephemeral_ports_distinct(self):
+        pair = TcpPair()
+        pair.server.listen(80, lambda conn: RecordingApp())
+        a = pair.client.connect("server", 80)
+        b = pair.client.connect("server", 80)
+        assert a.local_port != b.local_port
+
+    def test_duplicate_connection_key_rejected(self):
+        pair = TcpPair()
+        pair.server.listen(80, lambda conn: RecordingApp())
+        pair.client.connect("server", 80, local_port=5555)
+        with pytest.raises(ValueError):
+            pair.client.connect("server", 80, local_port=5555)
+
+    def test_stray_segment_gets_rst(self):
+        pair = TcpPair()
+        header = TcpHeader(sport=1234, dport=4321, seq=99)
+        header.flags_set("ack")
+        header.ack = 77
+        pair.server.on_packet(Packet("client", "server", "tcp", header, 0))
+        assert pair.server.resets_sent_closed_port == 1
+
+    def test_stray_rst_not_answered(self):
+        pair = TcpPair()
+        header = TcpHeader(sport=1234, dport=4321)
+        header.flags_set("rst")
+        pair.server.on_packet(Packet("client", "server", "tcp", header, 0))
+        assert pair.server.resets_sent_closed_port == 0
+
+
+class TestCensus:
+    def test_counts_states(self):
+        pair = TcpPair()
+        pair.server.listen(80, lambda conn: RecordingApp())
+        pair.client.connect("server", 80)
+        pair.run(until=1.0)
+        assert pair.server.census() == {"ESTABLISHED": 1}
+        assert pair.client.census() == {"ESTABLISHED": 1}
+
+    def test_lingering_excludes_time_wait(self):
+        pair = TcpPair()
+        pair.server.listen(80, lambda conn: RecordingApp())
+        conn = pair.client.connect("server", 80)
+        pair.run(until=1.0)
+        conn.app_close()
+        pair.run(until=1.5)
+        server_conn = next(iter(pair.server.connections.values()))
+        server_conn.app_close()
+        pair.run(until=2.2)  # client now in TIME_WAIT
+        assert pair.client.lingering_sockets() == []
+
+    def test_closed_connections_archived(self):
+        pair = TcpPair()
+        pair.server.listen(80, lambda conn: RecordingApp())
+        conn = pair.client.connect("server", 80)
+        pair.run(until=1.0)
+        conn.app_abort()
+        pair.run(until=2.0)
+        assert conn in pair.client.closed_connections
+        assert pair.client.connections == {}
+
+    def test_iss_space_respected(self):
+        pair = TcpPair()
+        pair.client.iss_space = 1024
+        for _ in range(20):
+            assert pair.client.next_iss() < 1024

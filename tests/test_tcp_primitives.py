@@ -1,0 +1,216 @@
+"""Sequence arithmetic, RTT estimation, and congestion-control personalities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcpstack.rtt import RttEstimator
+from repro.tcpstack.seq import (
+    SEQ_MASK,
+    SEQ_MOD,
+    segment_acceptable,
+    seq_in_window,
+    unwrap,
+    wrap,
+)
+from repro.tcpstack.congestion import (
+    NaiveAckCounting,
+    NewReno,
+    OverreactingNewReno,
+    make_congestion_control,
+)
+
+
+class TestSeqArithmetic:
+    def test_wrap(self):
+        assert wrap(SEQ_MOD + 5) == 5
+        assert wrap(5) == 5
+
+    def test_unwrap_near_reference(self):
+        assert unwrap(100, 90) == 100
+        assert unwrap(100, SEQ_MOD + 90) == SEQ_MOD + 100
+
+    def test_unwrap_across_wrap_boundary(self):
+        reference = SEQ_MOD - 10
+        assert unwrap(5, reference) == SEQ_MOD + 5
+
+    def test_unwrap_backwards(self):
+        reference = SEQ_MOD + 5
+        assert unwrap(SEQ_MASK - 4, reference) == SEQ_MOD - 5
+
+    @given(st.integers(0, SEQ_MASK), st.integers(0, 2**40))
+    def test_unwrap_is_congruent_and_near(self, wire, reference):
+        value = unwrap(wire, reference)
+        assert value & SEQ_MASK == wire
+        assert abs(value - reference) <= SEQ_MOD // 2
+
+    def test_window_membership(self):
+        assert seq_in_window(100, 100, 10)
+        assert seq_in_window(109, 100, 10)
+        assert not seq_in_window(110, 100, 10)
+        assert not seq_in_window(99, 100, 10)
+
+    def test_segment_acceptability_zero_len(self):
+        assert segment_acceptable(100, 0, 100, 1000)
+        assert segment_acceptable(500, 0, 100, 1000)
+        assert not segment_acceptable(1100, 0, 100, 1000)
+
+    def test_segment_acceptability_zero_window(self):
+        assert segment_acceptable(100, 0, 100, 0)
+        assert not segment_acceptable(101, 0, 100, 0)
+        assert not segment_acceptable(100, 10, 100, 0)
+
+    def test_segment_overlapping_window_edge(self):
+        # segment starts before the window but overlaps into it
+        assert segment_acceptable(90, 20, 100, 1000)
+        # entirely before the window
+        assert not segment_acceptable(50, 10, 100, 1000)
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        est = RttEstimator()
+        est.sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+        assert est.rto == pytest.approx(max(0.2, 0.1 + 4 * 0.05))
+
+    def test_smoothing_converges(self):
+        est = RttEstimator(rto_min=0.0)
+        for _ in range(100):
+            est.sample(0.2)
+        assert est.srtt == pytest.approx(0.2, rel=0.01)
+        assert est.rto == pytest.approx(0.2, rel=0.1)
+
+    def test_rto_clamped_to_min(self):
+        est = RttEstimator(rto_min=0.25)
+        for _ in range(50):
+            est.sample(0.01)
+        assert est.rto == 0.25
+
+    def test_backoff_doubles_and_caps(self):
+        est = RttEstimator(rto_initial=1.0, rto_max=3.0)
+        est.backoff()
+        assert est.rto == 2.0
+        est.backoff()
+        assert est.rto == 3.0
+        est.backoff()
+        assert est.rto == 3.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().sample(-1.0)
+
+    def test_variance_tracks_jitter(self):
+        stable = RttEstimator(rto_min=0.0)
+        jittery = RttEstimator(rto_min=0.0)
+        for i in range(100):
+            stable.sample(0.2)
+            jittery.sample(0.1 if i % 2 else 0.3)
+        assert jittery.rto > stable.rto
+
+
+MSS = 1000
+
+
+class TestNewReno:
+    def test_slow_start_doubles_per_window(self):
+        cc = NewReno(MSS, initial_segments=2)
+        start = cc.cwnd
+        for _ in range(2):
+            cc.on_ack(MSS, 0)
+        assert cc.cwnd == start + 2 * MSS
+
+    def test_congestion_avoidance_linear(self):
+        cc = NewReno(MSS, initial_segments=10)
+        cc.ssthresh = cc.cwnd  # force avoidance
+        start = cc.cwnd
+        # one full window of ACKs -> exactly one MSS of growth
+        for _ in range(start // MSS):
+            cc.on_ack(MSS, 0)
+        assert cc.cwnd == start + MSS
+
+    def test_fast_retransmit_halves(self):
+        cc = NewReno(MSS, initial_segments=20)
+        cc.on_fast_retransmit(snd_nxt=50 * MSS)
+        assert cc.ssthresh == 10 * MSS
+        assert cc.cwnd == 10 * MSS + 3 * MSS
+        assert cc.in_fast_recovery
+
+    def test_dupack_inflation_during_recovery(self):
+        cc = NewReno(MSS, initial_segments=20)
+        cc.on_fast_retransmit(snd_nxt=50 * MSS)
+        before = cc.cwnd
+        cc.on_duplicate_ack()
+        assert cc.cwnd == before + MSS
+
+    def test_partial_ack_keeps_recovery(self):
+        cc = NewReno(MSS, initial_segments=20)
+        cc.on_fast_retransmit(snd_nxt=50 * MSS)
+        cc.on_ack(MSS, snd_una=10 * MSS)  # below recovery point
+        assert cc.in_fast_recovery
+
+    def test_full_ack_exits_recovery(self):
+        cc = NewReno(MSS, initial_segments=20)
+        cc.on_fast_retransmit(snd_nxt=50 * MSS)
+        cc.on_ack(40 * MSS, snd_una=50 * MSS)
+        assert not cc.in_fast_recovery
+        assert cc.cwnd == cc.ssthresh
+
+    def test_timeout_collapses_window(self):
+        cc = NewReno(MSS, initial_segments=20)
+        cc.on_timeout()
+        assert cc.cwnd == MSS
+        assert cc.ssthresh == 10 * MSS
+        assert cc.timeouts == 1
+
+
+class TestNaiveAckCounting:
+    def test_grows_on_duplicates(self):
+        cc = NaiveAckCounting(MSS, initial_segments=2)
+        start = cc.cwnd
+        for _ in range(5):
+            cc.on_duplicate_ack()
+        assert cc.cwnd == start + 5 * MSS
+
+    def test_no_fast_retransmit_support(self):
+        assert NaiveAckCounting(MSS).supports_fast_retransmit is False
+
+    def test_timeout_still_backs_off(self):
+        cc = NaiveAckCounting(MSS, initial_segments=10)
+        cc.on_timeout()
+        assert cc.cwnd == MSS
+
+
+class TestOverreactingNewReno:
+    def test_isolated_fast_retransmit_is_standard(self):
+        cc = OverreactingNewReno(MSS, initial_segments=20)
+        cc.on_fast_retransmit(snd_nxt=50 * MSS, now=10.0)
+        assert cc.in_fast_recovery  # New Reno behaviour
+        assert cc.cwnd > MSS
+
+    def test_recurrent_bursts_collapse_window(self):
+        cc = OverreactingNewReno(MSS, initial_segments=20)
+        cc.on_fast_retransmit(snd_nxt=50 * MSS, now=10.0)
+        cc.on_ack(40 * MSS, snd_una=50 * MSS)  # recover
+        cc.on_fast_retransmit(snd_nxt=60 * MSS, now=10.5)  # within burst window
+        assert cc.cwnd == MSS
+        assert cc.ssthresh == 2 * MSS
+        assert not cc.in_fast_recovery
+
+    def test_spaced_retransmits_stay_standard(self):
+        cc = OverreactingNewReno(MSS, initial_segments=20)
+        cc.on_fast_retransmit(snd_nxt=50 * MSS, now=10.0)
+        cc.on_ack(40 * MSS, snd_una=50 * MSS)
+        cc.on_fast_retransmit(snd_nxt=60 * MSS, now=20.0)  # well-separated
+        assert cc.cwnd > MSS
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_congestion_control("newreno", MSS), NewReno)
+        assert isinstance(make_congestion_control("naive", MSS), NaiveAckCounting)
+        assert isinstance(make_congestion_control("overreact", MSS), OverreactingNewReno)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_congestion_control("cubic", MSS)
