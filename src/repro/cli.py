@@ -15,9 +15,20 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.core import Controller, Executor, TestbedConfig, compare_injection_models
+from repro.core import (
+    Controller,
+    Executor,
+    JournalMismatch,
+    TestbedConfig,
+    compare_injection_models,
+)
 from repro.core.generation import StrategyGenerator
-from repro.core.reporting import render_attack_clusters, render_searchspace, render_table1
+from repro.core.reporting import (
+    render_attack_clusters,
+    render_campaign_health,
+    render_searchspace,
+    render_table1,
+)
 from repro.dccpstack.variants import DCCP_VARIANTS
 from repro.packets.dccp import DCCP_FORMAT
 from repro.packets.tcp import TCP_FORMAT
@@ -62,8 +73,22 @@ def cmd_baseline(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
-    config = TestbedConfig(protocol=args.protocol, variant=_resolve_variant(args))
-    controller = Controller(config, workers=args.workers, sample_every=args.sample_every)
+    config = TestbedConfig(
+        protocol=args.protocol,
+        variant=_resolve_variant(args),
+        max_events=args.max_events,
+        run_budget=args.run_budget,
+    )
+    checkpoint = args.resume if args.resume else args.checkpoint
+    controller = Controller(
+        config,
+        workers=args.workers,
+        sample_every=args.sample_every,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        checkpoint=checkpoint,
+        resume=args.resume is not None,
+    )
     started = time.time()
 
     def progress(stage: str, done: int, total: int) -> None:
@@ -71,11 +96,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             sys.stderr.write(f"\r[{time.time() - started:6.1f}s] {stage}: {done}/{total}  ")
             sys.stderr.flush()
 
-    result = controller.run_campaign(progress=progress)
+    try:
+        result = controller.run_campaign(progress=progress)
+    except JournalMismatch as exc:
+        sys.stderr.write(f"\nerror: {exc}\n")
+        return 2
     sys.stderr.write("\n")
     print(render_table1([result]))
     print()
     print(render_attack_clusters(result))
+    print()
+    print(render_campaign_health(result))
     return 0
 
 
@@ -109,6 +140,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--sample-every", type=int, default=25,
                      help="execute 1 in N strategies (1 = full sweep)")
     sub.add_argument("--workers", type=int, default=1)
+    sub.add_argument("--retries", type=int, default=1,
+                     help="retries (with derived seeds) before a failed/"
+                          "timed-out run is classified as an error")
+    sub.add_argument("--retry-backoff", type=float, default=0.0,
+                     help="base seconds slept before a retry, doubled per attempt")
+    sub.add_argument("--run-budget", type=float, default=None,
+                     help="wall-clock watchdog: real seconds allowed per simulation run")
+    sub.add_argument("--max-events", type=int, default=None,
+                     help="event watchdog: simulator events allowed per run")
+    sub.add_argument("--checkpoint", metavar="JOURNAL", default=None,
+                     help="journal completed runs to this JSONL file as they finish")
+    sub.add_argument("--resume", metavar="JOURNAL", default=None,
+                     help="resume from (and keep appending to) an existing journal, "
+                          "skipping already-completed strategies")
     sub.set_defaults(handler=cmd_campaign)
 
     sub = subparsers.add_parser("searchspace", help="Section VI-C comparison")

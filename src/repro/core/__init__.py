@@ -19,13 +19,17 @@
 * :mod:`repro.core.baselines` — the send-packet-based and
   time-interval-based injection baselines of Section VI-C.
 * :mod:`repro.core.parallel` — multiprocessing strategy execution (the
-  paper's parallel executors).
+  paper's parallel executors) with per-run crash isolation and
+  deterministic retry.
+* :mod:`repro.core.checkpoint` — the JSONL checkpoint journal behind
+  ``repro campaign --checkpoint`` / ``--resume``.
 * :mod:`repro.core.reporting` — Table I / Table II renderers.
 """
 
 from repro.core.strategy import Strategy
 from repro.core.generation import GenerationConfig, StrategyGenerator
-from repro.core.executor import Executor, RunResult, TestbedConfig
+from repro.core.executor import Executor, RunError, RunResult, TestbedConfig
+from repro.core.checkpoint import CheckpointJournal, JournalMismatch
 from repro.core.detector import AttackDetector, BaselineMetrics, Detection
 from repro.core.classify import CLASS_FALSE_POSITIVE, CLASS_ON_PATH, CLASS_TRUE, classify
 from repro.core.attacks_catalog import KNOWN_ATTACKS, match_known_attack
@@ -38,8 +42,11 @@ __all__ = [
     "GenerationConfig",
     "StrategyGenerator",
     "Executor",
+    "RunError",
     "RunResult",
     "TestbedConfig",
+    "CheckpointJournal",
+    "JournalMismatch",
     "AttackDetector",
     "BaselineMetrics",
     "Detection",

@@ -1,0 +1,152 @@
+"""Checkpoint journal: crash-safe campaign progress on disk.
+
+The controller appends one JSON line per completed strategy run as results
+arrive, so a campaign killed mid-sweep (SIGKILL, OOM, power loss) loses at
+most the in-flight chunk.  ``repro campaign --resume <journal>`` reloads
+the journal, skips every already-completed strategy, and appends new
+results to the same file.
+
+Format — line 1 is a metadata header identifying the campaign; every later
+line is one outcome::
+
+    {"version": 1, "protocol": "tcp", "variant": "linux-3.13", "seed": 7, ...}
+    {"stage": "sweep", "kind": "result", "outcome": {...RunResult fields...}}
+    {"stage": "sweep", "kind": "error",  "outcome": {...RunError fields...}}
+    {"stage": "confirm", "kind": "result", "outcome": {...}}
+
+Lines that fail to parse (a half-written tail after a hard kill) are
+ignored on load; the affected strategies simply re-run.  Resuming against
+a journal whose header does not match the current campaign raises
+:class:`JournalMismatch` instead of silently mixing incompatible results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, TextIO, Tuple
+
+from repro.core.executor import RunError, RunOutcome, RunResult
+
+JOURNAL_VERSION = 1
+
+#: (stage, strategy_id) -> outcome; stages are "sweep" and "confirm"
+CompletedMap = Dict[Tuple[str, Optional[int]], RunOutcome]
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk belongs to a different campaign configuration."""
+
+
+def encode_outcome(stage: str, outcome: RunOutcome) -> Dict[str, object]:
+    """One journal line (as a dict) for a completed run or failure."""
+    kind = "error" if isinstance(outcome, RunError) else "result"
+    return {"stage": stage, "kind": kind, "outcome": outcome.to_dict()}
+
+
+def decode_outcome(record: Dict[str, object]) -> RunOutcome:
+    """Inverse of :func:`encode_outcome` (the ``outcome`` payload only)."""
+    payload = record["outcome"]
+    if record.get("kind") == "error":
+        return RunError.from_dict(payload)  # type: ignore[arg-type]
+    return RunResult.from_dict(payload)  # type: ignore[arg-type]
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of per-strategy outcomes.
+
+    Usage: :meth:`load` (optionally) to recover completed work, then
+    :meth:`open` to start appending, :meth:`record` per outcome, and
+    :meth:`close` (or use the instance as a context manager).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[TextIO] = None
+
+    # ------------------------------------------------------------------
+    def load(self, expected_meta: Optional[Dict[str, object]] = None) -> CompletedMap:
+        """Read completed outcomes back, skipping corrupt (truncated) lines.
+
+        ``expected_meta`` keys are compared against the journal header;
+        any difference raises :class:`JournalMismatch`.
+        """
+        completed: CompletedMap = {}
+        if not os.path.exists(self.path):
+            return completed
+        with open(self.path, "r", encoding="utf-8") as fh:
+            header_seen = False
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # half-written tail from a hard kill
+                if not isinstance(record, dict):
+                    continue
+                if not header_seen:
+                    header_seen = True
+                    if "version" in record:
+                        self._check_meta(record, expected_meta)
+                        continue
+                    # headerless journal: fall through and treat the line
+                    # as an outcome, but only if no meta was expected
+                    if expected_meta:
+                        raise JournalMismatch(
+                            f"{self.path}: journal has no metadata header"
+                        )
+                if "outcome" not in record or "stage" not in record:
+                    continue
+                try:
+                    outcome = decode_outcome(record)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                completed[(str(record["stage"]), outcome.strategy_id)] = outcome
+        return completed
+
+    def _check_meta(self, header: Dict[str, object], expected: Optional[Dict[str, object]]) -> None:
+        if not expected:
+            return
+        for key, value in expected.items():
+            if header.get(key) != value:
+                raise JournalMismatch(
+                    f"{self.path}: journal was written for "
+                    f"{key}={header.get(key)!r}, campaign has {key}={value!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def open(self, meta: Optional[Dict[str, object]] = None) -> "CheckpointJournal":
+        """Open for appending; write the header if the file is new/empty."""
+        is_new = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if is_new:
+            header = {"version": JOURNAL_VERSION}
+            header.update(meta or {})
+            self._write_line(header)
+        return self
+
+    def record(self, stage: str, outcome: RunOutcome) -> None:
+        """Append one outcome and force it to disk (crash safety)."""
+        if self._fh is None:
+            raise RuntimeError("journal is not open")
+        self._write_line(encode_outcome(stage, outcome))
+
+    def _write_line(self, record: Dict[str, object]) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file; safe to call when never opened."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

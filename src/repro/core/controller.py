@@ -6,17 +6,25 @@ observed packet types and protocol states, execute each strategy, compare
 its metrics with the baseline, re-test apparent attacks to ensure
 repeatability, then post-process into on-path attacks, false positives,
 true attack strategies, and unique named attacks.
+
+The campaign runtime is fault tolerant: worker crashes and watchdog
+timeouts surface as :class:`~repro.core.executor.RunError` entries in
+:attr:`CampaignResult.errors` instead of killing the sweep, failed runs are
+retried with deterministically derived seeds, and every completed outcome
+can be journaled to a checkpoint file so an interrupted campaign resumes
+where it stopped (see :mod:`repro.core.checkpoint`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.attacks_catalog import cluster_attacks
+from repro.core.checkpoint import CheckpointJournal, CompletedMap
 from repro.core.classify import partition
 from repro.core.detector import AttackDetector, BaselineMetrics, Detection
-from repro.core.executor import Executor, RunResult, TestbedConfig
+from repro.core.executor import Executor, RunError, RunOutcome, RunResult, TestbedConfig
 from repro.core.generation import GenerationConfig, StrategyGenerator
 from repro.core.parallel import run_strategies
 from repro.core.strategy import Strategy
@@ -26,6 +34,9 @@ from repro.statemachine.specs import dccp_state_machine, tcp_state_machine
 
 BASELINE_SEEDS = (101, 202)
 CONFIRM_SEED_OFFSET = 5000
+
+STAGE_SWEEP = "sweep"
+STAGE_CONFIRM = "confirm"
 
 
 @dataclass
@@ -43,6 +54,15 @@ class CampaignResult:
     attack_clusters: Dict[str, List[Tuple[Strategy, Detection]]] = field(default_factory=dict)
     baseline: Optional[BaselineMetrics] = None
     sampled: bool = False
+    #: runs that failed permanently (crash or watchdog), partitioned out of
+    #: detection rather than aborting the campaign
+    errors: List[RunError] = field(default_factory=list)
+    #: how many of those errors were watchdog cutoffs
+    timed_out_count: int = 0
+    #: extra executions spent on retries across all runs
+    retries_performed: int = 0
+    #: outcomes restored from a checkpoint journal instead of re-run
+    resumed_count: int = 0
 
     @property
     def unique_attacks(self) -> List[str]:
@@ -60,6 +80,15 @@ class CampaignResult:
             "true_attacks": len(self.unique_attacks),
         }
 
+    def health_row(self) -> Dict[str, object]:
+        """Runtime-health counters for the campaign (errors/timeouts/...)."""
+        return {
+            "errors": len(self.errors),
+            "timed_out": self.timed_out_count,
+            "retries": self.retries_performed,
+            "resumed": self.resumed_count,
+        }
+
 
 class Controller:
     """Runs one campaign against one implementation."""
@@ -71,17 +100,37 @@ class Controller:
         workers: Optional[int] = None,
         confirm: bool = True,
         sample_every: int = 1,
+        retries: int = 0,
+        retry_backoff: float = 0.0,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
     ):
         """``sample_every`` > 1 executes a deterministic 1-in-N stratified
         subsample of the generated strategies (the full enumeration count is
-        still reported as ``strategies_generated``)."""
+        still reported as ``strategies_generated``).
+
+        ``retries`` gives every crashed/timed-out run that many additional
+        attempts with deterministically derived seeds (``retry_backoff``
+        seconds of exponential backoff between them).  ``checkpoint`` names
+        a JSONL journal to which completed outcomes are appended as they
+        arrive; with ``resume=True`` the journal is first read back and the
+        already-completed strategies are skipped.
+        """
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if resume and not checkpoint:
+            raise ValueError("resume requires a checkpoint path")
         self.config = config
         self.generation = generation if generation is not None else GenerationConfig()
         self.workers = workers
         self.confirm = confirm
         self.sample_every = sample_every
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.checkpoint = checkpoint
+        self.resume = resume
         self.executor = Executor(config)
 
     # ------------------------------------------------------------------
@@ -105,6 +154,53 @@ class Controller:
         return BaselineMetrics.from_runs(runs), runs
 
     # ------------------------------------------------------------------
+    def _journal_meta(self) -> Dict[str, object]:
+        return {
+            "protocol": self.config.protocol,
+            "variant": self.config.variant,
+            "seed": self.config.seed,
+            "sample_every": self.sample_every,
+        }
+
+    def _run_stage(
+        self,
+        stage: str,
+        strategies: Sequence[Strategy],
+        completed: CompletedMap,
+        journal: Optional[CheckpointJournal],
+        report: Callable[[str, int, int], None],
+        seed: Optional[int] = None,
+    ) -> Tuple[List[RunOutcome], int]:
+        """Run one stage, skipping journaled outcomes and journaling new ones.
+
+        Returns the outcomes aligned with ``strategies`` plus the number of
+        slots restored from the journal.
+        """
+        pending = [s for s in strategies if (stage, s.strategy_id) not in completed]
+
+        def on_result(index: int, outcome: RunOutcome) -> None:
+            if journal is not None:
+                journal.record(stage, outcome)
+
+        fresh = run_strategies(
+            self.config,
+            pending,
+            workers=self.workers,
+            seed=seed,
+            retries=self.retries,
+            retry_backoff=self.retry_backoff,
+            on_result=on_result,
+            progress=lambda done, total: report(stage, done, total),
+        )
+        by_id = {s.strategy_id: outcome for s, outcome in zip(pending, fresh)}
+        outcomes = [
+            completed.get((stage, s.strategy_id), by_id.get(s.strategy_id))
+            for s in strategies
+        ]
+        restored = len(strategies) - len(pending)
+        return outcomes, restored  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
     def run_campaign(
         self, progress: Optional[Callable[[str, int, int], None]] = None
     ) -> CampaignResult:
@@ -112,6 +208,25 @@ class Controller:
             if progress is not None:
                 progress(stage, done, total)
 
+        journal: Optional[CheckpointJournal] = None
+        completed: CompletedMap = {}
+        if self.checkpoint:
+            journal = CheckpointJournal(self.checkpoint)
+            if self.resume:
+                completed = journal.load(expected_meta=self._journal_meta())
+            journal.open(self._journal_meta())
+        try:
+            return self._run_campaign(report, completed, journal)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _run_campaign(
+        self,
+        report: Callable[[str, int, int], None],
+        completed: CompletedMap,
+        journal: Optional[CheckpointJournal],
+    ) -> CampaignResult:
         baseline, _ = self.run_baseline()
         report("baseline", 1, 1)
 
@@ -122,28 +237,37 @@ class Controller:
             strategies = strategies[:: self.sample_every]
 
         detector = AttackDetector(baseline)
-        results = run_strategies(
-            self.config,
-            strategies,
-            workers=self.workers,
-            progress=lambda done, total: report("sweep", done, total),
+        outcomes, resumed = self._run_stage(
+            STAGE_SWEEP, strategies, completed, journal, report
         )
+        errors: List[RunError] = [o for o in outcomes if isinstance(o, RunError)]
         candidates: List[Tuple[Strategy, Detection]] = []
-        for strategy, run in zip(strategies, results):
-            detection = detector.evaluate(run)
+        for strategy, outcome in zip(strategies, outcomes):
+            if not isinstance(outcome, RunResult):
+                continue
+            detection = detector.evaluate(outcome)
             if detection.is_attack:
                 candidates.append((strategy, detection))
 
         flagged: List[Tuple[Strategy, Detection]] = []
+        retries_performed = sum(o.attempts - 1 for o in outcomes)
         if self.confirm and candidates:
-            confirm_results = run_strategies(
-                self.config,
+            confirm_outcomes, confirm_resumed = self._run_stage(
+                STAGE_CONFIRM,
                 [strategy for strategy, _ in candidates],
-                workers=self.workers,
+                completed,
+                journal,
+                report,
                 seed=self.config.seed + CONFIRM_SEED_OFFSET,
-                progress=lambda done, total: report("confirm", done, total),
             )
-            for (strategy, first), rerun in zip(candidates, confirm_results):
+            resumed += confirm_resumed
+            retries_performed += sum(o.attempts - 1 for o in confirm_outcomes)
+            for (strategy, first), rerun in zip(candidates, confirm_outcomes):
+                if not isinstance(rerun, RunResult):
+                    # the confirmation run itself failed: report it as an
+                    # error and leave the strategy unconfirmed
+                    errors.append(rerun)
+                    continue
                 second = detector.evaluate(rerun)
                 confirmed = detector.confirm(first, second)
                 if confirmed.is_attack:
@@ -166,4 +290,8 @@ class Controller:
             attack_clusters=clusters,
             baseline=baseline,
             sampled=self.sample_every > 1,
+            errors=errors,
+            timed_out_count=sum(1 for e in errors if e.timed_out),
+            retries_performed=retries_performed,
+            resumed_count=resumed,
         )

@@ -21,14 +21,15 @@ sequence-space sweep attacks keep the same relative economics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
-from typing import Any, Dict, Optional, Set, Tuple
+from dataclasses import dataclass, field, asdict, fields
+from typing import Any, Dict, Optional, Set, Tuple, Union
 
 from repro.apps.bulk import BulkClient, BulkServer
 from repro.apps.iperf import IperfSender, IperfServer
 from repro.core.strategy import KIND_HITSEQWINDOW, KIND_INJECT, KIND_PACKET, Strategy
 from repro.dccpstack.endpoint import DccpEndpoint
 from repro.dccpstack.variants import get_dccp_variant
+from repro.netsim.chaos import ChaosConfig, ChaosTap
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import Dumbbell, DumbbellConfig
 from repro.packets.dccp import dccp_packet_type
@@ -59,6 +60,13 @@ class TestbedConfig:
     iss_space: int = 1 << 24
     server_port: int = 80
     dccp_server_port: int = 5001
+    #: watchdogs: cap on simulator events per run / real seconds per run;
+    #: a run that trips either budget is cut off and flagged ``timed_out``
+    max_events: Optional[int] = None
+    run_budget: Optional[float] = None
+    #: optional network chaos injected on the bottleneck link (both
+    #: directions), for validating detector stability under noisy baselines
+    chaos: Optional[ChaosConfig] = None
 
     def stop_time(self) -> float:
         return self.client_stop_at if self.protocol == "tcp" else self.dccp_client_stop_at
@@ -94,6 +102,14 @@ class RunResult:
     packets_observed: int = 0
     observed_pairs: Tuple[Tuple[str, str], ...] = ()
     events_processed: int = 0
+    #: watchdog verdict: the run was cut off before its horizon
+    timed_out: bool = False
+    #: which budget fired ("max-events" / "wall-budget"), when timed_out
+    truncated: Optional[str] = None
+    #: how many executions this result took (1 = no retries)
+    attempts: int = 1
+    #: chaos-tap counters when the testbed ran under injected network chaos
+    chaos_events: Dict[str, int] = field(default_factory=dict)
 
     @property
     def invalid_response_rate(self) -> float:
@@ -103,6 +119,52 @@ class RunResult:
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. a checkpoint
+        journal line); unknown keys are ignored for forward compatibility."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["observed_pairs"] = tuple(
+            tuple(pair) for pair in kwargs.get("observed_pairs", ())
+        )
+        return cls(**kwargs)
+
+
+@dataclass
+class RunError:
+    """A run that failed permanently: crashed or exceeded its watchdog budget.
+
+    Produced by the parallel worker wrapper after retries are exhausted, in
+    place of a :class:`RunResult`, so one wedged or crashing strategy never
+    kills the sweep.  ``seeds`` records every seed tried (deterministically
+    derived), which makes failures replayable.
+    """
+
+    strategy_id: Optional[int]
+    error_type: str
+    message: str
+    traceback_summary: str = ""
+    #: the failure was a watchdog cutoff rather than an exception
+    timed_out: bool = False
+    attempts: int = 1
+    seeds: Tuple[Optional[int], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunError":
+        """Rebuild an error from :meth:`to_dict` output (journal line)."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["seeds"] = tuple(kwargs.get("seeds", ()))
+        return cls(**kwargs)
+
+
+#: what one sweep slot yields: a completed run or a structured failure
+RunOutcome = Union[RunResult, RunError]
 
 
 class Executor:
@@ -142,6 +204,29 @@ class Executor:
             raise ValueError(f"unknown strategy kind {strategy.kind!r}")
 
     # ------------------------------------------------------------------
+    def _install_chaos(self, sim: Simulator, dumbbell: Dumbbell) -> Tuple[ChaosTap, ...]:
+        """Install chaos taps on both bottleneck directions, if configured."""
+        if self.config.chaos is None:
+            return ()
+        taps = (self.config.chaos.make_tap(sim), self.config.chaos.make_tap(sim))
+        dumbbell.bottleneck.ab.tap = taps[0]
+        dumbbell.bottleneck.ba.tap = taps[1]
+        return taps
+
+    @staticmethod
+    def _chaos_events(taps: Tuple[ChaosTap, ...]) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for tap in taps:
+            for key, value in tap.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def _run_sim(self, sim: Simulator) -> None:
+        """Run to the horizon under the configured watchdog budgets."""
+        cfg = self.config
+        sim.run(until=cfg.duration, max_events=cfg.max_events, wall_budget=cfg.run_budget)
+
+    # ------------------------------------------------------------------
     def _run_tcp(self, strategy: Optional[Strategy], seed: Optional[int]) -> RunResult:
         cfg = self.config
         sim = Simulator(seed=cfg.seed if seed is None else seed)
@@ -165,8 +250,9 @@ class Executor:
             if target.conn.state not in ("CLOSED", "TIME_WAIT"):
                 target.conn.app_exit()
 
+        chaos_taps = self._install_chaos(sim, dumbbell)
         sim.schedule_at(cfg.client_stop_at, kill_target)
-        sim.run(until=cfg.duration)
+        self._run_sim(sim)
 
         report = proxy.report()
         return RunResult(
@@ -192,6 +278,9 @@ class Executor:
             packets_observed=tracker.packets_observed,
             observed_pairs=tuple(sorted(report.observed_pairs)),
             events_processed=sim.events_processed,
+            timed_out=sim.truncated is not None,
+            truncated=sim.truncated,
+            chaos_events=self._chaos_events(chaos_taps),
         )
 
     # ------------------------------------------------------------------
@@ -215,7 +304,8 @@ class Executor:
         sender2 = IperfSender(
             endpoints["client2"], "server2", cfg.dccp_server_port, stop_at=cfg.duration + 1
         )
-        sim.run(until=cfg.duration)
+        chaos_taps = self._install_chaos(sim, dumbbell)
+        self._run_sim(sim)
 
         report = proxy.report()
         return RunResult(
@@ -240,4 +330,7 @@ class Executor:
             packets_observed=tracker.packets_observed,
             observed_pairs=tuple(sorted(report.observed_pairs)),
             events_processed=sim.events_processed,
+            timed_out=sim.truncated is not None,
+            truncated=sim.truncated,
+            chaos_events=self._chaos_events(chaos_taps),
         )

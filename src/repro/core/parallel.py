@@ -7,25 +7,105 @@ amount of processing power that can be thrown at the problem."
 Strategies and testbed configs are plain dataclasses, so they cross process
 boundaries the same way the paper's controller ships strategies to executor
 machines over TCP.
+
+Fault tolerance: a worker never lets an exception escape.  Every slot in the
+returned list holds either a :class:`~repro.core.executor.RunResult` or a
+structured :class:`~repro.core.executor.RunError` — crashes and watchdog
+timeouts are isolated per strategy, retried with deterministically derived
+seeds (plus optional backoff), and only then reported as errors.  Results
+always come back aligned with the input: slot *i* describes strategy *i*.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.core.executor import Executor, RunResult, TestbedConfig
+from repro.core.executor import Executor, RunError, RunOutcome, RunResult, TestbedConfig
 from repro.core.strategy import Strategy
 
-#: (config, strategy, seed) -> worker input
-WorkItem = Tuple[TestbedConfig, Optional[Strategy], Optional[int]]
+
+def derive_seed(base_seed: int, strategy_id: Optional[int], attempt: int) -> int:
+    """Deterministic per-(strategy, attempt) retry seed.
+
+    Attempt 0 always uses ``base_seed`` itself (preserving the historical
+    single-attempt behaviour); retries hash (base seed, strategy id, attempt)
+    so re-running a campaign replays the exact same seed sequence.
+    """
+    if attempt == 0:
+        return base_seed
+    key = f"{base_seed}:{strategy_id}:{attempt}".encode()
+    return int.from_bytes(hashlib.blake2b(key, digest_size=4).digest(), "big")
 
 
-def _execute_one(item: WorkItem) -> RunResult:
-    """Top-level worker function (must be picklable)."""
-    config, strategy, seed = item
-    return Executor(config).run(strategy, seed=seed)
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed/timed-out runs are retried before becoming errors."""
+
+    retries: int = 0
+    #: base sleep before retry attempt N, doubled each further attempt
+    backoff: float = 0.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Seconds to sleep before retry ``attempt`` (attempt >= 1)."""
+        if self.backoff <= 0 or attempt <= 0:
+            return 0.0
+        return self.backoff * (2 ** (attempt - 1))
+
+
+#: (config, strategy, seed, retry policy) -> worker input
+WorkItem = Tuple[TestbedConfig, Optional[Strategy], Optional[int], RetryPolicy]
+
+#: invoked in the parent as each slot finishes: (index, outcome)
+ResultHook = Callable[[int, RunOutcome], None]
+
+
+def _execute_one(item: WorkItem) -> RunOutcome:
+    """Top-level worker function (must be picklable, must never raise)."""
+    config, strategy, seed, policy = item
+    strategy_id = strategy.strategy_id if strategy is not None else None
+    base_seed = config.seed if seed is None else seed
+    seeds_tried: List[int] = []
+    failure: Optional[RunError] = None
+    for attempt in range(policy.retries + 1):
+        attempt_seed = derive_seed(base_seed, strategy_id, attempt)
+        seeds_tried.append(attempt_seed)
+        if attempt > 0:
+            pause = policy.backoff_for(attempt)
+            if pause > 0:
+                time.sleep(pause)
+        try:
+            result = Executor(config).run(strategy, seed=attempt_seed)
+        except Exception as exc:
+            failure = RunError(
+                strategy_id=strategy_id,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback_summary=traceback.format_exc(limit=8),
+            )
+            continue
+        if result.timed_out:
+            failure = RunError(
+                strategy_id=strategy_id,
+                error_type="Timeout",
+                message=(
+                    f"simulation cut off by {result.truncated} watchdog "
+                    f"after {result.events_processed} events"
+                ),
+                timed_out=True,
+            )
+            continue
+        result.attempts = attempt + 1
+        return result
+    assert failure is not None
+    failure.attempts = len(seeds_tried)
+    failure.seeds = tuple(seeds_tried)
+    return failure
 
 
 def default_worker_count() -> int:
@@ -41,38 +121,72 @@ def run_strategies(
     seed: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     chunksize: int = 8,
-) -> List[RunResult]:
+    retries: int = 0,
+    retry_backoff: float = 0.0,
+    on_result: Optional[ResultHook] = None,
+) -> List[RunOutcome]:
     """Run every strategy, in parallel when ``workers`` allows it.
 
-    Results come back in input order.  ``progress(done, total)`` is invoked
-    from the parent as results arrive.
+    Results come back in input order, one outcome per input slot: a
+    :class:`RunResult` on success, a :class:`RunError` placeholder when the
+    run crashed or timed out ``retries + 1`` times.  ``progress(done,
+    total)`` and ``on_result(index, outcome)`` are invoked from the parent
+    as outcomes arrive — the latter is the checkpoint-journal hook.
     """
-    items: List[WorkItem] = [(config, strategy, seed) for strategy in strategies]
+    policy = RetryPolicy(retries=retries, backoff=retry_backoff)
+    items: List[WorkItem] = [(config, strategy, seed, policy) for strategy in strategies]
     total = len(items)
     if workers is None:
         workers = default_worker_count()
     if workers <= 1 or total <= 1:
-        results = []
+        serial_results: List[RunOutcome] = []
         for i, item in enumerate(items):
-            results.append(_execute_one(item))
+            outcome = _execute_one(item)
+            serial_results.append(outcome)
+            if on_result is not None:
+                on_result(i, outcome)
             if progress is not None:
                 progress(i + 1, total)
-        return results
+        return serial_results
 
     context = multiprocessing.get_context("fork" if os.name == "posix" else "spawn")
-    results: List[Optional[RunResult]] = [None] * total
-    with context.Pool(processes=workers) as pool:
-        for done, (index, result) in enumerate(
-            pool.imap_unordered(
-                _execute_indexed, [(i, item) for i, item in enumerate(items)], chunksize=chunksize
+    results: List[Optional[RunOutcome]] = [None] * total
+    pool_error: Optional[BaseException] = None
+    try:
+        with context.Pool(processes=workers) as pool:
+            for done, (index, outcome) in enumerate(
+                pool.imap_unordered(
+                    _execute_indexed,
+                    [(i, item) for i, item in enumerate(items)],
+                    chunksize=chunksize,
+                )
+            ):
+                results[index] = outcome
+                if on_result is not None:
+                    on_result(index, outcome)
+                if progress is not None:
+                    progress(done + 1, total)
+    except Exception as exc:  # pool-level failure (e.g. a worker was killed)
+        pool_error = exc
+    # Never drop a slot: any slot the pool failed to fill becomes an
+    # in-slot error so downstream zip(strategies, results) stays aligned.
+    # These placeholders are deliberately NOT passed to ``on_result`` — they
+    # were never executed, so a resumed campaign should re-run them.
+    for i, slot in enumerate(results):
+        if slot is None:
+            strategy = strategies[i]
+            results[i] = RunError(
+                strategy_id=strategy.strategy_id if strategy is not None else None,
+                error_type="WorkerLost" if pool_error is None else type(pool_error).__name__,
+                message=(
+                    "worker pool returned no result for this strategy"
+                    if pool_error is None
+                    else f"worker pool failed: {pool_error}"
+                ),
             )
-        ):
-            results[index] = result
-            if progress is not None:
-                progress(done + 1, total)
-    return [r for r in results if r is not None]
+    return results  # type: ignore[return-value]
 
 
-def _execute_indexed(indexed: Tuple[int, WorkItem]) -> Tuple[int, RunResult]:
+def _execute_indexed(indexed: Tuple[int, WorkItem]) -> Tuple[int, RunOutcome]:
     index, item = indexed
     return index, _execute_one(item)

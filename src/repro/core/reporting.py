@@ -97,6 +97,29 @@ def render_searchspace(comparison: SearchSpaceComparison) -> str:
     return _render_table(headers, rows)
 
 
+def render_campaign_health(result: CampaignResult) -> str:
+    """Runtime-health summary: errors, watchdog timeouts, retries, resume.
+
+    One table row of counters, followed by one line per permanent failure
+    (strategy id, error type, message) so wedged or crashing strategies are
+    visible without digging through the checkpoint journal.
+    """
+    health = result.health_row()
+    headers = ("Errors", "Timed Out", "Retries", "Resumed")
+    table = _render_table(
+        headers,
+        [[health["errors"], health["timed_out"], health["retries"], health["resumed"]]],
+    )
+    lines = [table]
+    for error in result.errors:
+        label = "timeout" if error.timed_out else error.error_type
+        lines.append(
+            f"  strategy {error.strategy_id}: {label} after "
+            f"{error.attempts} attempt(s) — {error.message}"
+        )
+    return "\n".join(lines)
+
+
 def render_attack_clusters(result: CampaignResult) -> str:
     """Per-campaign cluster summary (which strategies map to which attack)."""
     headers = ("Attack", "Strategies", "Example")

@@ -12,6 +12,7 @@ SNAKE executor compare attack runs against a no-attack baseline.
 """
 
 from repro.netsim.simulator import EventHandle, Simulator, Timer
+from repro.netsim.chaos import ChaosConfig, ChaosTap
 from repro.netsim.link import Link, Pipe, PipeStats
 from repro.netsim.node import Host, ProtocolHandler
 from repro.netsim.tap import LinkTap, TapVerdict
@@ -22,6 +23,8 @@ __all__ = [
     "EventHandle",
     "Simulator",
     "Timer",
+    "ChaosConfig",
+    "ChaosTap",
     "Link",
     "Pipe",
     "PipeStats",

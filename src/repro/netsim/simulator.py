@@ -10,7 +10,16 @@ from __future__ import annotations
 
 import heapq
 import random
+import time
 from typing import Any, Callable, List, Optional, Tuple
+
+#: how often (in processed events) the wall-clock watchdog is consulted;
+#: checking every event would put a syscall on the scheduler hot path
+WALL_CHECK_INTERVAL = 512
+
+#: truncation reasons reported via :attr:`Simulator.truncated`
+TRUNCATED_MAX_EVENTS = "max-events"
+TRUNCATED_WALL_BUDGET = "wall-budget"
 
 
 class SimulationError(Exception):
@@ -71,6 +80,10 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        #: why the most recent :meth:`run` call stopped early
+        #: (``"max-events"`` / ``"wall-budget"``), or ``None`` if it ran to
+        #: its horizon.  Watchdog callers use this to flag wedged runs.
+        self.truncated: Optional[str] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -93,17 +106,29 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Run events until the horizon, the event budget, or heap exhaustion.
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        wall_budget: Optional[float] = None,
+    ) -> int:
+        """Run events until the horizon, a watchdog budget, or heap exhaustion.
 
         Returns the number of events processed by this call.  ``until`` is an
         absolute simulated time; events scheduled exactly at the horizon still
         run.  When the horizon is hit, :attr:`now` is advanced to it so that
         measurements taken "at the end of the test" use the full window.
+
+        ``max_events`` caps the number of events this call may process and
+        ``wall_budget`` caps its real (wall-clock) runtime in seconds; either
+        watchdog firing stops the run early and records the reason in
+        :attr:`truncated` (``None`` when the run completed normally).
         """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        self.truncated = None
+        deadline = None if wall_budget is None else time.monotonic() + wall_budget
         processed = 0
         try:
             while self._heap:
@@ -114,6 +139,14 @@ class Simulator:
                 if until is not None and head.time > until:
                     break
                 if max_events is not None and processed >= max_events:
+                    self.truncated = TRUNCATED_MAX_EVENTS
+                    break
+                if (
+                    deadline is not None
+                    and processed % WALL_CHECK_INTERVAL == 0
+                    and time.monotonic() >= deadline
+                ):
+                    self.truncated = TRUNCATED_WALL_BUDGET
                     break
                 event = heapq.heappop(self._heap)
                 if not event.pending:
@@ -126,7 +159,9 @@ class Simulator:
                 processed += 1
         finally:
             self._running = False
-        if until is not None and self.now < until:
+        # a truncated run did not reach the horizon; leave ``now`` where the
+        # watchdog stopped it so callers can see how far the run actually got
+        if until is not None and self.now < until and self.truncated is None:
             self.now = until
         self._events_processed += processed
         return processed

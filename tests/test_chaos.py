@@ -10,41 +10,11 @@ never wedges its state machine.
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.netsim.chaos import ChaosTap
 from repro.packets.packet import Packet
 from repro.packets.tcp import TcpHeader
 
 from tests.harness import DccpPair, RecordingApp, TcpPair
-
-
-class ChaosTap:
-    """Random drop/duplicate/delay interposition on one pipe."""
-
-    def __init__(self, sim, rng, drop=0.05, duplicate=0.05, delay=0.05, max_delay=0.05):
-        self.sim = sim
-        self.rng = rng
-        self.drop = drop
-        self.duplicate = duplicate
-        self.delay = delay
-        self.max_delay = max_delay
-        self.dropped = 0
-        self.duplicated = 0
-        self.delayed = 0
-
-    def __call__(self, packet, pipe):
-        roll = self.rng.random()
-        if roll < self.drop:
-            self.dropped += 1
-            return
-        if roll < self.drop + self.duplicate:
-            self.duplicated += 1
-            pipe.enqueue(packet)
-            pipe.enqueue(packet.clone())
-            return
-        if roll < self.drop + self.duplicate + self.delay:
-            self.delayed += 1
-            self.sim.schedule(self.rng.random() * self.max_delay, pipe.enqueue, packet)
-            return
-        pipe.enqueue(packet)
 
 
 class TestTcpUnderChaos:
