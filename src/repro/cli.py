@@ -4,13 +4,20 @@ Commands:
 
 * ``campaign``    — run a full SNAKE campaign against one implementation
 * ``baseline``    — run and print the non-attack baseline metrics
+* ``report``      — inspect a recorded campaign's trace/metrics telemetry
 * ``searchspace`` — the Section VI-C injection-model comparison
 * ``variants``    — list the available implementation variants
+
+Global ``-v/-vv`` and ``-q`` flags control the standard :mod:`logging`
+output from the ``repro.*`` subsystem loggers (controller, parallel pool,
+observability); they go to stderr so stdout stays parseable.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
 from typing import List, Optional
@@ -26,14 +33,43 @@ from repro.core.generation import StrategyGenerator
 from repro.core.reporting import (
     render_attack_clusters,
     render_campaign_health,
+    render_metrics_summary,
     render_searchspace,
+    render_slowest_runs,
+    render_strategy_timeline,
     render_table1,
+    render_throughput_summary,
+    render_transition_log,
 )
 from repro.dccpstack.variants import DCCP_VARIANTS
+from repro.obs import ObsConfig
+from repro.obs.store import (
+    load_metrics_snapshot,
+    load_trace_dir,
+    run_spans,
+    strategy_ids,
+    strategy_timeline,
+    transition_events,
+)
 from repro.packets.dccp import DCCP_FORMAT
 from repro.packets.tcp import TCP_FORMAT
 from repro.statemachine.specs import dccp_state_machine, tcp_state_machine
 from repro.tcpstack.variants import TCP_VARIANTS
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Map ``-q``/``-v``/``-vv`` to a root logging level on stderr."""
+    if getattr(args, "quiet", False):
+        level = logging.ERROR
+    else:
+        verbosity = getattr(args, "verbose", 0)
+        level = {0: logging.WARNING, 1: logging.INFO}.get(verbosity, logging.DEBUG)
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        datefmt="%H:%M:%S",
+    )
 
 
 def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
@@ -72,6 +108,18 @@ def cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_from_args(args: argparse.Namespace) -> Optional[ObsConfig]:
+    """Build the campaign's observability config from CLI flags (or None)."""
+    if not (args.trace_dir or args.metrics_out or args.profile):
+        return None
+    return ObsConfig(
+        trace_dir=args.trace_dir,
+        metrics=args.metrics_out is not None,
+        profile_dir=args.profile,
+        profile_keep=args.profile_keep,
+    )
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     config = TestbedConfig(
         protocol=args.protocol,
@@ -88,6 +136,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         retry_backoff=args.retry_backoff,
         checkpoint=checkpoint,
         resume=args.resume is not None,
+        obs=_obs_from_args(args),
     )
     started = time.time()
 
@@ -107,6 +156,55 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     print(render_attack_clusters(result))
     print()
     print(render_campaign_health(result))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(result.metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        sys.stderr.write(f"metrics snapshot written to {args.metrics_out}\n")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a recorded campaign's telemetry (``repro report``)."""
+    try:
+        events = load_trace_dir(args.trace_dir)
+    except FileNotFoundError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+    snapshot = {}
+    if args.metrics:
+        try:
+            snapshot = load_metrics_snapshot(args.metrics)
+        except (OSError, ValueError) as exc:
+            sys.stderr.write(f"error: cannot read metrics snapshot: {exc}\n")
+            return 2
+
+    runs = run_spans(events)
+    print(render_throughput_summary(snapshot, runs))
+    print()
+    print("Slowest runs")
+    print(render_slowest_runs(runs, args.slowest))
+
+    if args.strategy:
+        shown_ids: List[Optional[int]] = list(args.strategy)
+    else:
+        shown_ids = list(strategy_ids(events))[: args.timelines]
+    for sid in shown_ids:
+        print()
+        print(render_strategy_timeline(sid, strategy_timeline(events, sid)))
+
+    transitions = (
+        transition_events(events, args.strategy[0])
+        if args.strategy
+        else transition_events(events)
+    )
+    print()
+    print("State-transition audit log")
+    print(render_transition_log(transitions, args.transitions))
+
+    if snapshot:
+        print()
+        print(render_metrics_summary(snapshot))
     return 0
 
 
@@ -126,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SNAKE: state-machine-guided attack discovery (DSN 2015 reproduction)",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log INFO (-v) or DEBUG (-vv) to stderr")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only log errors")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     sub = subparsers.add_parser("variants", help="list implementation variants")
@@ -154,7 +256,35 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--resume", metavar="JOURNAL", default=None,
                      help="resume from (and keep appending to) an existing journal, "
                           "skipping already-completed strategies")
+    sub.add_argument("--trace-dir", metavar="DIR", default=None,
+                     help="record structured JSONL event traces into this directory "
+                          "(one file per worker process)")
+    sub.add_argument("--metrics-out", metavar="JSON", default=None,
+                     help="collect campaign metrics (merged across workers) and "
+                          "write the snapshot to this JSON file")
+    sub.add_argument("--profile", metavar="DIR", default=None,
+                     help="cProfile every run; keep .pstats for the N slowest")
+    sub.add_argument("--profile-keep", type=int, default=5,
+                     help="how many slowest-run profiles to keep (with --profile)")
     sub.set_defaults(handler=cmd_campaign)
+
+    sub = subparsers.add_parser(
+        "report", help="inspect a recorded campaign's telemetry"
+    )
+    sub.add_argument("trace_dir", metavar="TRACE_DIR",
+                     help="trace directory written by campaign --trace-dir")
+    sub.add_argument("metrics", metavar="METRICS", nargs="?", default=None,
+                     help="metrics snapshot written by campaign --metrics-out")
+    sub.add_argument("--strategy", type=int, action="append", default=None,
+                     help="show the timeline for this strategy id (repeatable); "
+                          "also narrows the transition log to the first id given")
+    sub.add_argument("--slowest", type=int, default=10,
+                     help="rows in the slowest-runs table")
+    sub.add_argument("--timelines", type=int, default=3,
+                     help="without --strategy: how many strategy timelines to show")
+    sub.add_argument("--transitions", type=int, default=40,
+                     help="max rows in the state-transition audit log")
+    sub.set_defaults(handler=cmd_report)
 
     sub = subparsers.add_parser("searchspace", help="Section VI-C comparison")
     _add_target_arguments(sub)
@@ -166,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     return args.handler(args)
 
 

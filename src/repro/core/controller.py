@@ -17,8 +17,9 @@ where it stopped (see :mod:`repro.core.checkpoint`).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.attacks_catalog import cluster_attacks
 from repro.core.checkpoint import CheckpointJournal, CompletedMap
@@ -28,9 +29,15 @@ from repro.core.executor import Executor, RunError, RunOutcome, RunResult, Testb
 from repro.core.generation import GenerationConfig, StrategyGenerator
 from repro.core.parallel import run_strategies
 from repro.core.strategy import Strategy
+from repro.obs.bus import BUS
+from repro.obs.config import ObsConfig, configure_observability
+from repro.obs.metrics import METRICS
+from repro.obs.profiling import prune_profiles
 from repro.packets.dccp import DCCP_FORMAT
 from repro.packets.tcp import TCP_FORMAT
 from repro.statemachine.specs import dccp_state_machine, tcp_state_machine
+
+log = logging.getLogger("repro.core.controller")
 
 BASELINE_SEEDS = (101, 202)
 CONFIRM_SEED_OFFSET = 5000
@@ -63,6 +70,10 @@ class CampaignResult:
     retries_performed: int = 0
     #: outcomes restored from a checkpoint journal instead of re-run
     resumed_count: int = 0
+    #: merged metrics snapshot (parent + all workers) when the campaign ran
+    #: with metrics enabled; empty otherwise.  The payload written by
+    #: ``repro campaign --metrics-out``.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def unique_attacks(self) -> List[str]:
@@ -104,6 +115,7 @@ class Controller:
         retry_backoff: float = 0.0,
         checkpoint: Optional[str] = None,
         resume: bool = False,
+        obs: Optional[ObsConfig] = None,
     ):
         """``sample_every`` > 1 executes a deterministic 1-in-N stratified
         subsample of the generated strategies (the full enumeration count is
@@ -115,6 +127,10 @@ class Controller:
         a JSONL journal to which completed outcomes are appended as they
         arrive; with ``resume=True`` the journal is first read back and the
         already-completed strategies are skipped.
+
+        ``obs`` switches on campaign observability (JSONL event traces,
+        the merged metrics registry, per-run profiling); see
+        :class:`repro.obs.ObsConfig`.  Everything stays off when ``None``.
         """
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
@@ -131,6 +147,7 @@ class Controller:
         self.retry_backoff = retry_backoff
         self.checkpoint = checkpoint
         self.resume = resume
+        self.obs = obs
         self.executor = Executor(config)
 
     # ------------------------------------------------------------------
@@ -150,7 +167,13 @@ class Controller:
 
     # ------------------------------------------------------------------
     def run_baseline(self) -> Tuple[BaselineMetrics, List[RunResult]]:
-        runs = [self.executor.run(None, seed=seed) for seed in BASELINE_SEEDS]
+        runs: List[RunResult] = []
+        for i, seed in enumerate(BASELINE_SEEDS):
+            with BUS.scope(stage="baseline", attempt=0, seed=seed):
+                with BUS.span("run"):
+                    run = self.executor.run(None, seed=seed)
+            run.run_id = f"baseline-none-a{i}"
+            runs.append(run)
         return BaselineMetrics.from_runs(runs), runs
 
     # ------------------------------------------------------------------
@@ -191,6 +214,8 @@ class Controller:
             retry_backoff=self.retry_backoff,
             on_result=on_result,
             progress=lambda done, total: report(stage, done, total),
+            obs=self.obs,
+            stage=stage,
         )
         by_id = {s.strategy_id: outcome for s, outcome in zip(pending, fresh)}
         outcomes = [
@@ -208,18 +233,46 @@ class Controller:
             if progress is not None:
                 progress(stage, done, total)
 
+        if self.obs is not None:
+            configure_observability(self.obs)
         journal: Optional[CheckpointJournal] = None
         completed: CompletedMap = {}
         if self.checkpoint:
             journal = CheckpointJournal(self.checkpoint)
             if self.resume:
                 completed = journal.load(expected_meta=self._journal_meta())
+                log.info("resumed %d completed outcome(s) from %s",
+                         len(completed), self.checkpoint)
             journal.open(self._journal_meta())
         try:
-            return self._run_campaign(report, completed, journal)
+            with BUS.span("campaign", protocol=self.config.protocol,
+                          variant=self.config.variant):
+                return self._run_campaign(report, completed, journal)
         finally:
             if journal is not None:
                 journal.close()
+
+    def _evaluate(
+        self, detector: AttackDetector, strategy: Strategy, run: RunResult, stage: str
+    ) -> Detection:
+        """Detector evaluation plus the verdict's telemetry trail."""
+        detection = detector.evaluate(run)
+        if METRICS.enabled:
+            METRICS.inc(
+                "detector.verdict.attack" if detection.is_attack else "detector.verdict.normal"
+            )
+            for effect in detection.effects:
+                METRICS.inc(f"detector.effect.{effect}")
+        if BUS.enabled and detection.is_attack:
+            BUS.emit(
+                "detector.verdict",
+                stage=stage,
+                strategy_id=strategy.strategy_id,
+                effects=list(detection.effects),
+                target_ratio=round(detection.target_ratio, 4),
+                competing_ratio=round(detection.competing_ratio, 4),
+            )
+        return detection
 
     def _run_campaign(
         self,
@@ -235,6 +288,8 @@ class Controller:
         generated = len(strategies)
         if self.sample_every > 1:
             strategies = strategies[:: self.sample_every]
+        log.info("generated %d strategies, executing %d (%s/%s)",
+                 generated, len(strategies), self.config.protocol, self.config.variant)
 
         detector = AttackDetector(baseline)
         outcomes, resumed = self._run_stage(
@@ -245,12 +300,14 @@ class Controller:
         for strategy, outcome in zip(strategies, outcomes):
             if not isinstance(outcome, RunResult):
                 continue
-            detection = detector.evaluate(outcome)
+            detection = self._evaluate(detector, strategy, outcome, STAGE_SWEEP)
             if detection.is_attack:
                 candidates.append((strategy, detection))
+        log.info("sweep flagged %d candidate(s), %d error(s)", len(candidates), len(errors))
 
         flagged: List[Tuple[Strategy, Detection]] = []
         retries_performed = sum(o.attempts - 1 for o in outcomes)
+        all_runs: List[RunResult] = [o for o in outcomes if isinstance(o, RunResult)]
         if self.confirm and candidates:
             confirm_outcomes, confirm_resumed = self._run_stage(
                 STAGE_CONFIRM,
@@ -262,13 +319,14 @@ class Controller:
             )
             resumed += confirm_resumed
             retries_performed += sum(o.attempts - 1 for o in confirm_outcomes)
+            all_runs.extend(o for o in confirm_outcomes if isinstance(o, RunResult))
             for (strategy, first), rerun in zip(candidates, confirm_outcomes):
                 if not isinstance(rerun, RunResult):
                     # the confirmation run itself failed: report it as an
                     # error and leave the strategy unconfirmed
                     errors.append(rerun)
                     continue
-                second = detector.evaluate(rerun)
+                second = self._evaluate(detector, strategy, rerun, STAGE_CONFIRM)
                 confirmed = detector.confirm(first, second)
                 if confirmed.is_attack:
                     flagged.append((strategy, confirmed))
@@ -278,6 +336,17 @@ class Controller:
         on_path, false_positives, true_strategies = partition(flagged)
         clusters = cluster_attacks(true_strategies)
 
+        self._finish_profiles(all_runs)
+        metrics_snapshot = METRICS.snapshot() if METRICS.enabled else {}
+        if BUS.enabled:
+            BUS.emit(
+                "campaign.summary",
+                protocol=self.config.protocol,
+                variant=self.config.variant,
+                strategies_tried=len(strategies),
+                flagged=len(flagged),
+                errors=len(errors),
+            )
         return CampaignResult(
             protocol=self.config.protocol,
             variant=self.config.variant,
@@ -294,4 +363,14 @@ class Controller:
             timed_out_count=sum(1 for e in errors if e.timed_out),
             retries_performed=retries_performed,
             resumed_count=resumed,
+            metrics=metrics_snapshot,
         )
+
+    # ------------------------------------------------------------------
+    def _finish_profiles(self, runs: Sequence[RunResult]) -> None:
+        """Keep profiles only for the N slowest runs (``--profile``)."""
+        if self.obs is None or not self.obs.profile_dir:
+            return
+        slowest = sorted(runs, key=lambda r: r.wall_seconds, reverse=True)
+        keep = [r.run_id for r in slowest[: self.obs.profile_keep] if r.run_id]
+        prune_profiles(self.obs.profile_dir, keep)

@@ -21,6 +21,7 @@ sequence-space sweep attacks keep the same relative economics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, asdict, fields
 from typing import Any, Dict, Optional, Set, Tuple, Union
 
@@ -32,6 +33,8 @@ from repro.dccpstack.variants import get_dccp_variant
 from repro.netsim.chaos import ChaosConfig, ChaosTap
 from repro.netsim.simulator import Simulator
 from repro.netsim.topology import Dumbbell, DumbbellConfig
+from repro.obs.bus import BUS
+from repro.obs.metrics import METRICS, RATE_BUCKETS, TIME_BUCKETS
 from repro.packets.dccp import dccp_packet_type
 from repro.packets.tcp import tcp_packet_type
 from repro.proxy.attacks import make_packet_action
@@ -110,6 +113,11 @@ class RunResult:
     attempts: int = 1
     #: chaos-tap counters when the testbed ran under injected network chaos
     chaos_events: Dict[str, int] = field(default_factory=dict)
+    #: identity in the observability trace ("<stage>-<strategy>-a<attempt>");
+    #: also names this run's cProfile dump under ``--profile``
+    run_id: str = ""
+    #: real seconds this run took end to end (setup + simulate + collect)
+    wall_seconds: float = 0.0
 
     @property
     def invalid_response_rate(self) -> float:
@@ -224,38 +232,111 @@ class Executor:
     def _run_sim(self, sim: Simulator) -> None:
         """Run to the horizon under the configured watchdog budgets."""
         cfg = self.config
-        sim.run(until=cfg.duration, max_events=cfg.max_events, wall_budget=cfg.run_budget)
+        with BUS.span("run.simulate"):
+            sim.run(until=cfg.duration, max_events=cfg.max_events, wall_budget=cfg.run_budget)
+
+    # ------------------------------------------------------------------
+    def _observe_run(
+        self, sim: Simulator, dumbbell: Dumbbell, proxy: AttackProxy, result: RunResult
+    ) -> None:
+        """Feed one finished run into the event bus and metrics registry.
+
+        Called once per run (never per packet), so instrumentation cost is
+        independent of simulation size; a single flag check when both the
+        bus and the registry are off.
+        """
+        if BUS.enabled:
+            BUS.emit(
+                "run.result",
+                protocol=result.protocol,
+                target_bytes=result.target_bytes,
+                competing_bytes=result.competing_bytes,
+                packets_injected=result.packets_injected,
+                packets_matched=result.packets_matched,
+                events_processed=sim.events_processed,
+                timed_out=result.timed_out,
+                truncated=result.truncated,
+                wall_seconds=round(result.wall_seconds, 6),
+            )
+        if not METRICS.enabled:
+            return
+        metrics = METRICS
+        metrics.inc("runs.timed_out" if result.timed_out else "runs.completed")
+        metrics.inc("sim.events", sim.events_processed)
+        metrics.histogram("run.wall_seconds", TIME_BUCKETS).observe(result.wall_seconds)
+        if sim.wall_seconds > 0:
+            metrics.histogram("sim.events_per_sec", RATE_BUCKETS).observe(
+                sim.events_processed / sim.wall_seconds
+            )
+        links = (
+            dumbbell.client1_access,
+            dumbbell.client2_access,
+            dumbbell.server1_access,
+            dumbbell.server2_access,
+            dumbbell.bottleneck,
+        )
+        enqueued = dropped = bytes_sent = bytes_dropped = queue_peak = 0
+        for link in links:
+            for pipe in (link.ab, link.ba):
+                stats = pipe.stats
+                enqueued += stats.packets_enqueued
+                dropped += stats.packets_dropped
+                bytes_sent += stats.bytes_sent
+                bytes_dropped += stats.bytes_dropped
+                queue_peak = max(queue_peak, stats.queue_peak)
+        metrics.inc("link.enqueued", enqueued)
+        metrics.inc("link.dropped", dropped)
+        metrics.inc("link.bytes_sent", bytes_sent)
+        metrics.inc("link.bytes_dropped", bytes_dropped)
+        metrics.gauge("link.queue_peak").set_max(queue_peak)
+        metrics.inc("proxy.intercepted", proxy.tap.intercepted)
+        metrics.inc("proxy.matched", proxy.matched)
+        metrics.inc("proxy.dropped", proxy.tap.dropped)
+        metrics.inc("proxy.injected", proxy.tap.injected)
+        for action_name, count in proxy.matched_by_action.items():
+            metrics.inc(f"proxy.matched.{action_name}", count)
+        for campaign_name, fired in proxy.injection_counts().items():
+            metrics.inc(f"proxy.injections.{campaign_name}", fired)
+        tracker = proxy.tracker
+        metrics.inc("tracker.transitions.client", len(tracker.client.transitions_taken))
+        metrics.inc("tracker.transitions.server", len(tracker.server.transitions_taken))
+        metrics.inc("tracker.packets_observed", tracker.packets_observed)
+        metrics.inc("tracker.packets_unmatched", tracker.packets_unmatched)
+        for key, value in result.chaos_events.items():
+            metrics.inc(f"chaos.{key}", value)
 
     # ------------------------------------------------------------------
     def _run_tcp(self, strategy: Optional[Strategy], seed: Optional[int]) -> RunResult:
         cfg = self.config
-        sim = Simulator(seed=cfg.seed if seed is None else seed)
-        dumbbell = Dumbbell(sim)
-        variant = get_variant(cfg.variant)
-        endpoints = {
-            name: TcpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
-            for name in ("client1", "client2", "server1", "server2")
-        }
-        BulkServer(endpoints["server1"], cfg.server_port, cfg.file_size)
-        BulkServer(endpoints["server2"], cfg.server_port, cfg.file_size)
-        tracker = StateTracker(tcp_state_machine(), "client1", "server1", tcp_packet_type)
-        proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "tcp", tracker)
-        self._install_strategy(proxy, strategy)
-        target = BulkClient(endpoints["client1"], "server1", cfg.server_port)
-        competing = BulkClient(endpoints["client2"], "server2", cfg.server_port)
+        started = time.perf_counter()
+        with BUS.span("run.setup", protocol="tcp"):
+            sim = Simulator(seed=cfg.seed if seed is None else seed)
+            dumbbell = Dumbbell(sim)
+            variant = get_variant(cfg.variant)
+            endpoints = {
+                name: TcpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
+                for name in ("client1", "client2", "server1", "server2")
+            }
+            BulkServer(endpoints["server1"], cfg.server_port, cfg.file_size)
+            BulkServer(endpoints["server2"], cfg.server_port, cfg.file_size)
+            tracker = StateTracker(tcp_state_machine(), "client1", "server1", tcp_packet_type)
+            proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "tcp", tracker)
+            self._install_strategy(proxy, strategy)
+            target = BulkClient(endpoints["client1"], "server1", cfg.server_port)
+            competing = BulkClient(endpoints["client2"], "server2", cfg.server_port)
 
-        def kill_target() -> None:
-            # the downloader is torn down at the end of its test slot, like
-            # wget being killed when the paper's executor stops a run
-            if target.conn.state not in ("CLOSED", "TIME_WAIT"):
-                target.conn.app_exit()
+            def kill_target() -> None:
+                # the downloader is torn down at the end of its test slot, like
+                # wget being killed when the paper's executor stops a run
+                if target.conn.state not in ("CLOSED", "TIME_WAIT"):
+                    target.conn.app_exit()
 
-        chaos_taps = self._install_chaos(sim, dumbbell)
-        sim.schedule_at(cfg.client_stop_at, kill_target)
+            chaos_taps = self._install_chaos(sim, dumbbell)
+            sim.schedule_at(cfg.client_stop_at, kill_target)
         self._run_sim(sim)
 
         report = proxy.report()
-        return RunResult(
+        result = RunResult(
             strategy_id=strategy.strategy_id if strategy else None,
             protocol="tcp",
             variant=cfg.variant,
@@ -282,33 +363,39 @@ class Executor:
             truncated=sim.truncated,
             chaos_events=self._chaos_events(chaos_taps),
         )
+        result.wall_seconds = time.perf_counter() - started
+        self._observe_run(sim, dumbbell, proxy, result)
+        return result
 
     # ------------------------------------------------------------------
     def _run_dccp(self, strategy: Optional[Strategy], seed: Optional[int]) -> RunResult:
         cfg = self.config
-        sim = Simulator(seed=cfg.seed if seed is None else seed)
-        dumbbell = Dumbbell(sim)
-        variant = get_dccp_variant(cfg.variant)
-        endpoints = {
-            name: DccpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
-            for name in ("client1", "client2", "server1", "server2")
-        }
-        server1 = IperfServer(endpoints["server1"], cfg.dccp_server_port)
-        server2 = IperfServer(endpoints["server2"], cfg.dccp_server_port)
-        tracker = StateTracker(dccp_state_machine(), "client1", "server1", dccp_packet_type)
-        proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "dccp", tracker)
-        self._install_strategy(proxy, strategy)
-        sender1 = IperfSender(
-            endpoints["client1"], "server1", cfg.dccp_server_port, stop_at=cfg.dccp_client_stop_at
-        )
-        sender2 = IperfSender(
-            endpoints["client2"], "server2", cfg.dccp_server_port, stop_at=cfg.duration + 1
-        )
-        chaos_taps = self._install_chaos(sim, dumbbell)
+        started = time.perf_counter()
+        with BUS.span("run.setup", protocol="dccp"):
+            sim = Simulator(seed=cfg.seed if seed is None else seed)
+            dumbbell = Dumbbell(sim)
+            variant = get_dccp_variant(cfg.variant)
+            endpoints = {
+                name: DccpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
+                for name in ("client1", "client2", "server1", "server2")
+            }
+            server1 = IperfServer(endpoints["server1"], cfg.dccp_server_port)
+            server2 = IperfServer(endpoints["server2"], cfg.dccp_server_port)
+            tracker = StateTracker(dccp_state_machine(), "client1", "server1", dccp_packet_type)
+            proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "dccp", tracker)
+            self._install_strategy(proxy, strategy)
+            sender1 = IperfSender(
+                endpoints["client1"], "server1", cfg.dccp_server_port,
+                stop_at=cfg.dccp_client_stop_at,
+            )
+            sender2 = IperfSender(
+                endpoints["client2"], "server2", cfg.dccp_server_port, stop_at=cfg.duration + 1
+            )
+            chaos_taps = self._install_chaos(sim, dumbbell)
         self._run_sim(sim)
 
         report = proxy.report()
-        return RunResult(
+        result = RunResult(
             strategy_id=strategy.strategy_id if strategy else None,
             protocol="dccp",
             variant=cfg.variant,
@@ -334,3 +421,6 @@ class Executor:
             truncated=sim.truncated,
             chaos_events=self._chaos_events(chaos_taps),
         )
+        result.wall_seconds = time.perf_counter() - started
+        self._observe_run(sim, dumbbell, proxy, result)
+        return result

@@ -14,20 +14,34 @@ structured :class:`~repro.core.executor.RunError` — crashes and watchdog
 timeouts are isolated per strategy, retried with deterministically derived
 seeds (plus optional backoff), and only then reported as errors.  Results
 always come back aligned with the input: slot *i* describes strategy *i*.
+
+Observability: when an :class:`~repro.obs.config.ObsConfig` is supplied,
+each worker configures its own process-local event bus (one JSONL trace
+file per worker pid in the shared trace directory), wraps every attempt in
+a ``run`` span carrying (stage, strategy, attempt, seed), optionally
+profiles the attempt with cProfile, and ships its per-run metrics delta
+back alongside the outcome so the parent merges one campaign-wide registry.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import multiprocessing
 import os
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.executor import Executor, RunError, RunOutcome, RunResult, TestbedConfig
 from repro.core.strategy import Strategy
+from repro.obs.bus import BUS
+from repro.obs.config import ObsConfig, configure_observability
+from repro.obs.metrics import METRICS
+from repro.obs.profiling import profile_run
+
+log = logging.getLogger("repro.core.parallel")
 
 
 def derive_seed(base_seed: int, strategy_id: Optional[int], attempt: int) -> int:
@@ -58,37 +72,63 @@ class RetryPolicy:
         return self.backoff * (2 ** (attempt - 1))
 
 
-#: (config, strategy, seed, retry policy) -> worker input
-WorkItem = Tuple[TestbedConfig, Optional[Strategy], Optional[int], RetryPolicy]
+#: (config, strategy, seed, retry policy, obs config, stage) -> worker input
+WorkItem = Tuple[
+    TestbedConfig, Optional[Strategy], Optional[int], RetryPolicy, Optional[ObsConfig], str
+]
+
+#: what a worker hands back: the outcome plus its metrics delta (or None)
+WorkerReply = Tuple[RunOutcome, Optional[Dict[str, Any]]]
 
 #: invoked in the parent as each slot finishes: (index, outcome)
 ResultHook = Callable[[int, RunOutcome], None]
 
 
-def _execute_one(item: WorkItem) -> RunOutcome:
+def run_id_for(stage: str, strategy_id: Optional[int], attempt: int) -> str:
+    """Trace/profile identity of one run attempt (stable and filename-safe)."""
+    sid = "none" if strategy_id is None else str(strategy_id)
+    return f"{stage}-{sid}-a{attempt}"
+
+
+def _execute_one(item: WorkItem) -> WorkerReply:
     """Top-level worker function (must be picklable, must never raise)."""
-    config, strategy, seed, policy = item
+    config, strategy, seed, policy, obs_cfg, stage = item
+    if obs_cfg is not None:
+        # (re)configure this process; forked workers inherit the parent's
+        # bus/registry, spawned workers start cold — both end up identical.
+        # obs_cfg=None deliberately leaves any caller-managed setup alone.
+        configure_observability(obs_cfg)
     strategy_id = strategy.strategy_id if strategy is not None else None
     base_seed = config.seed if seed is None else seed
+    profile_dir = obs_cfg.profile_dir if obs_cfg is not None else None
     seeds_tried: List[int] = []
     failure: Optional[RunError] = None
+    outcome: Optional[RunOutcome] = None
     for attempt in range(policy.retries + 1):
         attempt_seed = derive_seed(base_seed, strategy_id, attempt)
         seeds_tried.append(attempt_seed)
         if attempt > 0:
+            if METRICS.enabled:
+                METRICS.inc("runs.retries")
             pause = policy.backoff_for(attempt)
             if pause > 0:
                 time.sleep(pause)
-        try:
-            result = Executor(config).run(strategy, seed=attempt_seed)
-        except Exception as exc:
-            failure = RunError(
-                strategy_id=strategy_id,
-                error_type=type(exc).__name__,
-                message=str(exc),
-                traceback_summary=traceback.format_exc(limit=8),
-            )
-            continue
+        run_id = run_id_for(stage, strategy_id, attempt)
+        with BUS.scope(stage=stage, strategy_id=strategy_id, attempt=attempt, seed=attempt_seed):
+            try:
+                with BUS.span("run"), profile_run(profile_dir, run_id):
+                    result = Executor(config).run(strategy, seed=attempt_seed)
+            except Exception as exc:
+                if METRICS.enabled:
+                    METRICS.inc("runs.failed")
+                BUS.emit("run.error", error_type=type(exc).__name__, message=str(exc))
+                failure = RunError(
+                    strategy_id=strategy_id,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback_summary=traceback.format_exc(limit=8),
+                )
+                continue
         if result.timed_out:
             failure = RunError(
                 strategy_id=strategy_id,
@@ -101,11 +141,16 @@ def _execute_one(item: WorkItem) -> RunOutcome:
             )
             continue
         result.attempts = attempt + 1
-        return result
-    assert failure is not None
-    failure.attempts = len(seeds_tried)
-    failure.seeds = tuple(seeds_tried)
-    return failure
+        result.run_id = run_id
+        outcome = result
+        break
+    if outcome is None:
+        assert failure is not None
+        failure.attempts = len(seeds_tried)
+        failure.seeds = tuple(seeds_tried)
+        outcome = failure
+    delta = METRICS.snapshot_and_reset() if METRICS.enabled else None
+    return outcome, delta
 
 
 def default_worker_count() -> int:
@@ -124,6 +169,8 @@ def run_strategies(
     retries: int = 0,
     retry_backoff: float = 0.0,
     on_result: Optional[ResultHook] = None,
+    obs: Optional[ObsConfig] = None,
+    stage: str = "sweep",
 ) -> List[RunOutcome]:
     """Run every strategy, in parallel when ``workers`` allows it.
 
@@ -132,16 +179,25 @@ def run_strategies(
     run crashed or timed out ``retries + 1`` times.  ``progress(done,
     total)`` and ``on_result(index, outcome)`` are invoked from the parent
     as outcomes arrive — the latter is the checkpoint-journal hook.
+
+    ``obs`` switches on per-worker tracing/metrics/profiling; worker
+    metrics deltas are merged into the parent's registry as they arrive, so
+    after this returns the process-wide registry covers the whole stage.
+    ``stage`` labels the trace records ("sweep" / "confirm" / ...).
     """
     policy = RetryPolicy(retries=retries, backoff=retry_backoff)
-    items: List[WorkItem] = [(config, strategy, seed, policy) for strategy in strategies]
+    items: List[WorkItem] = [
+        (config, strategy, seed, policy, obs, stage) for strategy in strategies
+    ]
     total = len(items)
     if workers is None:
         workers = default_worker_count()
     if workers <= 1 or total <= 1:
         serial_results: List[RunOutcome] = []
         for i, item in enumerate(items):
-            outcome = _execute_one(item)
+            outcome, delta = _execute_one(item)
+            if delta is not None:
+                METRICS.merge(delta)
             serial_results.append(outcome)
             if on_result is not None:
                 on_result(i, outcome)
@@ -150,17 +206,20 @@ def run_strategies(
         return serial_results
 
     context = multiprocessing.get_context("fork" if os.name == "posix" else "spawn")
+    log.info("running %d strategies on %d workers (stage=%s)", total, workers, stage)
     results: List[Optional[RunOutcome]] = [None] * total
     pool_error: Optional[BaseException] = None
     try:
         with context.Pool(processes=workers) as pool:
-            for done, (index, outcome) in enumerate(
+            for done, (index, (outcome, delta)) in enumerate(
                 pool.imap_unordered(
                     _execute_indexed,
                     [(i, item) for i, item in enumerate(items)],
                     chunksize=chunksize,
                 )
             ):
+                if delta is not None:
+                    METRICS.merge(delta)
                 results[index] = outcome
                 if on_result is not None:
                     on_result(index, outcome)
@@ -168,6 +227,7 @@ def run_strategies(
                     progress(done + 1, total)
     except Exception as exc:  # pool-level failure (e.g. a worker was killed)
         pool_error = exc
+        log.warning("worker pool failed: %s", exc)
     # Never drop a slot: any slot the pool failed to fill becomes an
     # in-slot error so downstream zip(strategies, results) stays aligned.
     # These placeholders are deliberately NOT passed to ``on_result`` — they
@@ -187,6 +247,6 @@ def run_strategies(
     return results  # type: ignore[return-value]
 
 
-def _execute_indexed(indexed: Tuple[int, WorkItem]) -> Tuple[int, RunOutcome]:
+def _execute_indexed(indexed: Tuple[int, WorkItem]) -> Tuple[int, WorkerReply]:
     index, item = indexed
     return index, _execute_one(item)

@@ -1,12 +1,21 @@
-"""ASCII renderers for the paper's tables."""
+"""ASCII renderers for the paper's tables and the campaign telemetry report.
+
+The first half renders the paper's evaluation tables (Table I/II, the
+Section VI-C search-space comparison).  The second half renders what
+``repro report`` shows for a recorded campaign: the throughput summary,
+the slowest-run table, per-strategy timelines, and the state-transition
+audit log — the paper's "manually inspect the packet captures" workflow,
+reconstructed from the observability trace instead of a pcap.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.attacks_catalog import KNOWN_ATTACKS
 from repro.core.baselines import SearchSpaceComparison
 from repro.core.controller import CampaignResult
+from repro.obs.metrics import histogram_mean, histogram_percentile
 
 
 def _render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -128,3 +137,159 @@ def render_attack_clusters(result: CampaignResult) -> str:
         example = members[0][0].describe() if members else "-"
         rows.append([name, len(members), example])
     return _render_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# campaign telemetry (the ``repro report`` sections)
+# ----------------------------------------------------------------------
+def _fmt_num(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.3f}"
+    return f"{int(value):,}"
+
+
+def render_throughput_summary(
+    snapshot: Mapping[str, Any], runs: Sequence[Mapping[str, Any]]
+) -> str:
+    """Campaign throughput: runs, events, events/sec, run-time percentiles."""
+    counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    lines = ["Campaign throughput"]
+    total_runs = sum(
+        counters.get(key, 0) for key in ("runs.completed", "runs.timed_out")
+    )
+    if total_runs or runs:
+        lines.append(f"  runs executed        {total_runs or len(runs):,}"
+                     f" ({counters.get('runs.timed_out', 0):,} timed out,"
+                     f" {counters.get('runs.failed', 0):,} crashed,"
+                     f" {counters.get('runs.retries', 0):,} retries)")
+    events = counters.get("sim.events", 0)
+    if events:
+        lines.append(f"  simulator events     {events:,}")
+    wall = histograms.get("run.wall_seconds")
+    if wall and wall.get("count"):
+        lines.append(
+            "  run wall seconds     "
+            f"mean={histogram_mean(wall):.3f} "
+            f"p50={histogram_percentile(wall, 0.50):.3f} "
+            f"p90={histogram_percentile(wall, 0.90):.3f} "
+            f"p99={histogram_percentile(wall, 0.99):.3f} "
+            f"max={wall.get('max') or 0:.3f}"
+        )
+        if wall.get("sum") and events:
+            lines.append(f"  aggregate events/sec {events / wall['sum']:,.0f}")
+    rate = histograms.get("sim.events_per_sec")
+    if rate and rate.get("count"):
+        lines.append(
+            "  per-run events/sec   "
+            f"p50={histogram_percentile(rate, 0.50):,.0f} "
+            f"p90={histogram_percentile(rate, 0.90):,.0f}"
+        )
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded — run the campaign with --metrics-out)")
+    return "\n".join(lines)
+
+
+def render_metrics_summary(snapshot: Mapping[str, Any]) -> str:
+    """Every recorded counter/gauge, plus histogram percentiles."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    sections: List[str] = []
+    scalar_rows: List[List[object]] = [
+        [name, _fmt_num(value)] for name, value in sorted(counters.items())
+    ] + [[name, _fmt_num(value)] for name, value in sorted(gauges.items())]
+    if scalar_rows:
+        sections.append(_render_table(("Metric", "Value"), scalar_rows))
+    hist_rows: List[List[object]] = []
+    for name, data in sorted(histograms.items()):
+        if not data.get("count"):
+            continue
+        hist_rows.append([
+            name,
+            f"{data['count']:,}",
+            f"{histogram_mean(data):.4g}",
+            f"{histogram_percentile(data, 0.50):.4g}",
+            f"{histogram_percentile(data, 0.90):.4g}",
+            f"{histogram_percentile(data, 0.99):.4g}",
+            f"{(data.get('max') or 0):.4g}",
+        ])
+    if hist_rows:
+        sections.append(
+            _render_table(("Histogram", "Count", "Mean", "p50", "p90", "p99", "Max"), hist_rows)
+        )
+    return "\n\n".join(sections) if sections else "(empty metrics snapshot)"
+
+
+def render_slowest_runs(runs: Sequence[Mapping[str, Any]], limit: int = 10) -> str:
+    """The slowest run attempts, from the trace's ``run`` spans."""
+    headers = ("Stage", "Strategy", "Attempt", "Seed", "Wall s")
+    ranked = sorted(runs, key=lambda r: r.get("dur", 0.0), reverse=True)[:limit]
+    rows: List[List[object]] = [
+        [
+            run.get("stage", "?"),
+            run.get("strategy_id", "-"),
+            run.get("attempt", 0),
+            run.get("seed", "-"),
+            f"{run.get('dur', 0.0):.3f}",
+        ]
+        for run in ranked
+    ]
+    if not rows:
+        return "(no run spans in trace)"
+    return _render_table(headers, rows)
+
+
+def _fields_str(event: Mapping[str, Any]) -> str:
+    fields = event.get("fields") or {}
+    return " ".join(f"{key}={value}" for key, value in fields.items())
+
+
+def render_strategy_timeline(
+    strategy_id: Optional[int], events: Sequence[Mapping[str, Any]]
+) -> str:
+    """One strategy's trace records as a wall-clock-relative timeline."""
+    label = "baseline" if strategy_id is None else f"strategy {strategy_id}"
+    if not events:
+        return f"{label}: (no trace records)"
+    t0 = events[0].get("ts", 0.0)
+    lines = [f"{label} timeline ({len(events)} records)"]
+    for event in events:
+        offset = event.get("ts", t0) - t0
+        attempt = event.get("attempt")
+        tag = f"a{attempt}" if attempt is not None else "--"
+        dur = f" dur={event['dur']:.3f}s" if "dur" in event else ""
+        details = _fields_str(event)
+        lines.append(
+            f"  +{offset:8.3f}s [{tag}] {event.get('kind', '?'):5s} "
+            f"{event.get('name', '?'):22s}{dur}"
+            + (f"  {details}" if details else "")
+        )
+    return "\n".join(lines)
+
+
+def render_transition_log(
+    transitions: Sequence[Mapping[str, Any]], limit: Optional[int] = 40
+) -> str:
+    """State-tracker audit log: every inferred transition, in order."""
+    headers = ("Stage", "Strategy", "Role", "Sim Time", "From", "Event", "To")
+    shown = list(transitions) if limit is None else list(transitions)[:limit]
+    rows: List[List[object]] = []
+    for event in shown:
+        fields = event.get("fields") or {}
+        rows.append([
+            event.get("stage", "?"),
+            event.get("strategy_id", "-"),
+            fields.get("role", "?"),
+            f"{fields.get('sim_time', 0.0):.3f}",
+            fields.get("src", "?"),
+            fields.get("event", "?"),
+            fields.get("dst", "?"),
+        ])
+    if not rows:
+        return "(no tracker transitions in trace)"
+    table = _render_table(headers, rows)
+    omitted = len(transitions) - len(shown)
+    if omitted > 0:
+        table += f"\n  ... {omitted} more transition(s); use --transitions to raise the cap"
+    return table

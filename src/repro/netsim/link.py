@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class PipeStats:
     """Counters kept per direction of a link."""
 
+    packets_enqueued: int = 0
     packets_sent: int = 0
     bytes_sent: int = 0
     packets_dropped: int = 0
@@ -85,6 +86,7 @@ class Pipe:
             self.stats.packets_dropped += 1
             self.stats.bytes_dropped += packet.size_bytes
             return
+        self.stats.packets_enqueued += 1
         self._queue.append(packet)
         self.stats.queue_peak = max(self.stats.queue_peak, len(self._queue))
         if not self._busy:

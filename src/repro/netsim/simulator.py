@@ -80,6 +80,10 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        #: cumulative real (wall-clock) seconds spent inside :meth:`run`;
+        #: with :attr:`events_processed` this yields events/sec, the
+        #: simulator-throughput metric campaigns aggregate
+        self.wall_seconds = 0.0
         #: why the most recent :meth:`run` call stopped early
         #: (``"max-events"`` / ``"wall-budget"``), or ``None`` if it ran to
         #: its horizon.  Watchdog callers use this to flag wedged runs.
@@ -128,7 +132,8 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self.truncated = None
-        deadline = None if wall_budget is None else time.monotonic() + wall_budget
+        started = time.monotonic()
+        deadline = None if wall_budget is None else started + wall_budget
         processed = 0
         try:
             while self._heap:
@@ -159,6 +164,7 @@ class Simulator:
                 processed += 1
         finally:
             self._running = False
+            self.wall_seconds += time.monotonic() - started
         # a truncated run did not reach the horizon; leave ``now`` where the
         # watchdog stopped it so callers can see how far the run actually got
         if until is not None and self.now < until and self.truncated is None:

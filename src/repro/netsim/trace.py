@@ -10,10 +10,11 @@ input to passive state-machine inference (:mod:`repro.statemachine.infer`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Iterator, List, Optional, TYPE_CHECKING
 
 from repro.netsim.link import Link, Pipe
 from repro.netsim.simulator import Simulator
+from repro.obs.bus import BUS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.packets.packet import Packet
@@ -41,9 +42,12 @@ class TraceRecord:
 class PacketTrace:
     """Captures packets crossing a link, both directions.
 
-    Installs *observing* taps: packets flow on unmodified.  If a link
-    already carries an attack-proxy tap, wrap the trace first or record
-    manually via :meth:`observe`.
+    Installs *observing* taps: packets flow on unmodified.  A link that
+    already carries a tap (an attack proxy, chaos injector, ...) keeps it:
+    the trace records the packet first, then hands it to the existing tap,
+    so the capture composes with active interception and shows the wire
+    *before* the attacker touches it — exactly where tcpdump sits in the
+    paper's testbed.
     """
 
     def __init__(
@@ -63,36 +67,52 @@ class PacketTrace:
 
     # ------------------------------------------------------------------
     def attach(self, link: Link) -> None:
-        """Observe both pipes of a link (they must not already be tapped)."""
+        """Observe both pipes of a link, wrapping any tap already there."""
         for pipe in (link.ab, link.ba):
-            if pipe.tap is not None:
-                raise RuntimeError(f"{pipe.name} already has a tap; use observe()")
-            pipe.tap = self._make_tap(pipe)
+            pipe.tap = self._make_tap(pipe, inner=pipe.tap)
 
-    def _make_tap(self, pipe: Pipe) -> Callable[["Packet", Pipe], None]:
+    def _make_tap(
+        self,
+        pipe: Pipe,
+        inner: Optional[Callable[["Packet", Pipe], Any]] = None,
+    ) -> Callable[["Packet", Pipe], None]:
         def tap(packet: "Packet", pipe_: Pipe) -> None:
             self.observe(packet)
-            pipe_.enqueue(packet)
+            if inner is not None:
+                # compose: the wrapped tap keeps full delivery authority
+                # (it may drop, modify, duplicate, or delay the packet)
+                inner(packet, pipe_)
+            else:
+                pipe_.enqueue(packet)
 
         return tap
 
     # ------------------------------------------------------------------
     def observe(self, packet: "Packet") -> None:
         """Record one packet (also usable as a manual hook)."""
+        record = TraceRecord(
+            time=self.sim.now,
+            src=packet.src,
+            dst=packet.dst,
+            proto=packet.proto,
+            packet_type=self.packet_type_fn(packet.header),
+            payload_len=packet.payload_len,
+            size_bytes=packet.size_bytes,
+        )
+        if BUS.enabled:
+            BUS.emit(
+                "trace.packet",
+                sim_time=round(record.time, 6),
+                src=record.src,
+                dst=record.dst,
+                proto=record.proto,
+                packet_type=record.packet_type,
+                payload_len=record.payload_len,
+            )
         if self.max_records is not None and len(self.records) >= self.max_records:
             self.dropped_overflow += 1
             return
-        self.records.append(
-            TraceRecord(
-                time=self.sim.now,
-                src=packet.src,
-                dst=packet.dst,
-                proto=packet.proto,
-                packet_type=self.packet_type_fn(packet.header),
-                payload_len=packet.payload_len,
-                size_bytes=packet.size_bytes,
-            )
-        )
+        self.records.append(record)
 
     # ------------------------------------------------------------------
     # analysis helpers

@@ -1,0 +1,53 @@
+"""Campaign observability: structured tracing, metrics, and profiling.
+
+The paper's authors triage findings by *inspecting* what the testbed saw —
+"manually inspect the packet captures" — and SNPSFuzzer-style speedup
+claims rest on per-phase timing.  This package gives the campaign runtime
+the same visibility without giving up throughput:
+
+* :mod:`repro.obs.bus` — a process-local event bus emitting structured
+  spans and events (campaign → strategy → run attempt → sim phases) to a
+  per-campaign JSONL trace directory.
+* :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
+  fixed-bucket histograms) instrumented into the runtime's hot paths and
+  mergeable across worker processes.
+* :mod:`repro.obs.config` — the picklable :class:`ObsConfig` switch that
+  turns both on; everything is a no-op (one attribute check) when off.
+* :mod:`repro.obs.profiling` — opt-in per-run cProfile dumps, pruned to
+  the N slowest runs after a campaign.
+* :mod:`repro.obs.store` — loaders for the trace directory and metrics
+  snapshots, consumed by ``repro report``.
+"""
+
+from repro.obs.bus import BUS, EventBus, JsonlTraceSink, MemorySink, NullSink
+from repro.obs.config import ObsConfig, configure_observability
+from repro.obs.metrics import (
+    METRICS,
+    MetricsRegistry,
+    histogram_mean,
+    histogram_percentile,
+    merge_snapshots,
+)
+from repro.obs.profiling import profile_run, prune_profiles
+from repro.obs.store import load_metrics_snapshot, load_trace_dir, run_spans, transition_events
+
+__all__ = [
+    "BUS",
+    "EventBus",
+    "JsonlTraceSink",
+    "MemorySink",
+    "NullSink",
+    "ObsConfig",
+    "configure_observability",
+    "METRICS",
+    "MetricsRegistry",
+    "histogram_mean",
+    "histogram_percentile",
+    "merge_snapshots",
+    "profile_run",
+    "prune_profiles",
+    "load_metrics_snapshot",
+    "load_trace_dir",
+    "run_spans",
+    "transition_events",
+]

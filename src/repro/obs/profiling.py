@@ -1,0 +1,66 @@
+"""Opt-in per-run cProfile dumps, pruned to the slowest runs.
+
+The slowest run can't be known in advance, so every run under
+``--profile`` dumps a ``.pstats`` file named after its run id; after the
+campaign the controller calls :func:`prune_profiles` with the ids of the N
+slowest runs and everything else is deleted.  Inspect survivors with::
+
+    python -m pstats t/profiles/sweep-1342-a0.pstats
+"""
+
+from __future__ import annotations
+
+import cProfile
+import logging
+import os
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional, Set
+
+log = logging.getLogger("repro.obs")
+
+PROFILE_SUFFIX = ".pstats"
+
+
+def _profile_path(profile_dir: str, run_id: str) -> str:
+    safe = run_id.replace(os.sep, "_") or "run"
+    return os.path.join(profile_dir, safe + PROFILE_SUFFIX)
+
+
+@contextmanager
+def profile_run(profile_dir: Optional[str], run_id: str) -> Iterator[None]:
+    """Profile the block and dump stats to ``<dir>/<run_id>.pstats``.
+
+    A no-op context manager when ``profile_dir`` is ``None``.
+    """
+    if not profile_dir:
+        yield
+        return
+    os.makedirs(profile_dir, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(_profile_path(profile_dir, run_id))
+
+
+def prune_profiles(profile_dir: str, keep_run_ids: Iterable[str]) -> int:
+    """Delete every profile except those named by ``keep_run_ids``.
+
+    Returns the number of files removed.  Missing directories are fine
+    (profiling may have produced nothing).
+    """
+    if not os.path.isdir(profile_dir):
+        return 0
+    keep: Set[str] = {
+        os.path.basename(_profile_path(profile_dir, run_id)) for run_id in keep_run_ids
+    }
+    removed = 0
+    for name in os.listdir(profile_dir):
+        if name.endswith(PROFILE_SUFFIX) and name not in keep:
+            os.unlink(os.path.join(profile_dir, name))
+            removed += 1
+    if removed:
+        log.info("pruned %d profile(s) from %s", removed, profile_dir)
+    return removed

@@ -1,0 +1,81 @@
+"""Loaders for trace directories and metrics snapshots.
+
+The write side (:class:`~repro.obs.bus.JsonlTraceSink`) produces one JSONL
+file per process in a shared directory; this module reads them all back,
+merges on timestamp, and offers the small selections ``repro report``
+renders (run spans, state transitions, per-strategy timelines).  Corrupt
+lines (a half-written tail after a hard kill) are skipped, mirroring the
+checkpoint journal's crash tolerance.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+TraceEvent = Dict[str, Any]
+
+
+def load_trace_dir(trace_dir: str) -> List[TraceEvent]:
+    """Read every ``*.jsonl`` trace file in ``trace_dir``, sorted by time."""
+    if not os.path.isdir(trace_dir):
+        raise FileNotFoundError(f"trace directory {trace_dir!r} does not exist")
+    events: List[TraceEvent] = []
+    for path in sorted(glob.glob(os.path.join(trace_dir, "*.jsonl"))):
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # half-written tail
+                if isinstance(record, dict) and "name" in record:
+                    events.append(record)
+    events.sort(key=lambda e: e.get("ts", 0.0))
+    return events
+
+
+def load_metrics_snapshot(path: str) -> Dict[str, Any]:
+    """Read a metrics snapshot JSON written by ``repro campaign --metrics-out``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"{path}: not a metrics snapshot")
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# selections
+# ----------------------------------------------------------------------
+def run_spans(events: List[TraceEvent]) -> List[TraceEvent]:
+    """All completed run attempts (``kind=span, name=run``)."""
+    return [e for e in events if e.get("kind") == "span" and e.get("name") == "run"]
+
+
+def transition_events(
+    events: List[TraceEvent], strategy_id: Optional[int] = None
+) -> List[TraceEvent]:
+    """State-tracker transition events, optionally for one strategy."""
+    out = [e for e in events if e.get("name") == "tracker.transition"]
+    if strategy_id is not None:
+        out = [e for e in out if e.get("strategy_id") == strategy_id]
+    return out
+
+
+def strategy_timeline(events: List[TraceEvent], strategy_id: int) -> List[TraceEvent]:
+    """Every record carrying the given strategy id, in time order."""
+    return [e for e in events if e.get("strategy_id") == strategy_id]
+
+
+def strategy_ids(events: List[TraceEvent]) -> List[int]:
+    """Distinct strategy ids present in the trace, sorted."""
+    ids = {
+        e["strategy_id"]
+        for e in events
+        if isinstance(e.get("strategy_id"), int)
+    }
+    return sorted(ids)

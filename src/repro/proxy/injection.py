@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple, TYPE_CHECKING, Union
 
+from repro.obs.bus import BUS
 from repro.packets.packet import Packet
 from repro.proxy.craft import craft_packet
 
@@ -51,6 +52,17 @@ class InjectionCampaign:
 
     def fire(self, proxy: "AttackProxy") -> None:
         raise NotImplementedError
+
+    def _emit_fire(self, proxy: "AttackProxy", count: int) -> None:
+        """Trace-record one trigger firing (timeline marker for ``repro report``)."""
+        if BUS.enabled:
+            BUS.emit(
+                "proxy.campaign.fire",
+                campaign=self.name,
+                trigger=str(self.trigger),
+                count=count,
+                sim_time=round(proxy.sim.now, 6),
+            )
 
     # ------------------------------------------------------------------
     def _resolve_fields(self, proxy: "AttackProxy", fields: Dict[str, object]) -> Dict[str, int]:
@@ -103,6 +115,7 @@ class InjectCampaign(InjectionCampaign):
         self.interval = interval
 
     def fire(self, proxy: "AttackProxy") -> None:
+        self._emit_fire(proxy, self.count)
         for i in range(self.count):
             packet = craft_packet(
                 self.protocol,
@@ -178,6 +191,7 @@ class HitSeqWindowCampaign(InjectionCampaign):
         self.space = space
 
     def fire(self, proxy: "AttackProxy") -> None:
+        self._emit_fire(proxy, self.count)
         base = proxy.sim.rng.randrange(self.space)
         for i in range(self.count):
             fields = self._resolve_fields(proxy, self.fields)

@@ -73,6 +73,8 @@ class AttackProxy:
         tracker.transition_listeners.append(self._on_transition)
         # counters
         self.matched = 0
+        #: matches broken down by basic-attack action name (drop/delay/...)
+        self.matched_by_action: Dict[str, int] = {}
         self.invalid_forwarded = 0
         self.invalid_responses = 0
         self._pending_invalid: Deque[float] = deque(maxlen=64)
@@ -106,6 +108,8 @@ class AttackProxy:
         for state, ptype, action in self._packet_rules:
             if sender_state == state and packet_type == ptype:
                 self.matched += 1
+                name = getattr(action, "name", "unknown")
+                self.matched_by_action[name] = self.matched_by_action.get(name, 0) + 1
                 verdict = TapVerdict(action.apply(packet, self, direction))
                 break
         if verdict is None:
@@ -148,6 +152,16 @@ class AttackProxy:
             if self._pending_invalid:
                 self._pending_invalid.popleft()
                 self.invalid_responses += 1
+
+    # ------------------------------------------------------------------
+    def injection_counts(self) -> Dict[str, int]:
+        """Packets fired per armed campaign, keyed by campaign name
+        (``inject`` / ``hitseqwindow``) — the per-basic-attack injection
+        tally the metrics registry aggregates across a sweep."""
+        counts: Dict[str, int] = {}
+        for campaign in self._campaigns:
+            counts[campaign.name] = counts.get(campaign.name, 0) + campaign.fired
+        return counts
 
     # ------------------------------------------------------------------
     def report(self) -> ProxyReport:

@@ -14,6 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
+from repro.obs.bus import BUS
 from repro.statemachine.machine import RCV, SND, StateMachine, TriggerEvent
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,6 +70,15 @@ class EndpointTracker:
             return None
         stats.time_in_state += now - self._entered_at
         self.transitions_taken.append((now, self.state, f"{direction} {packet_type}", next_state))
+        if BUS.enabled:
+            BUS.emit(
+                "tracker.transition",
+                role=self.role,
+                sim_time=round(now, 6),
+                src=self.state,
+                event=f"{direction} {packet_type}",
+                dst=next_state,
+            )
         self.state = next_state
         self._enter(next_state, now)
         return next_state
@@ -109,6 +119,10 @@ class StateTracker:
         #: (sender_state, packet_type) pairs seen, for strategy generation
         self.observed_pairs: Set[Tuple[str, str]] = set()
         self.packets_observed = 0
+        #: packets between addresses the tracker does not know (e.g. forged
+        #: off-path traffic aimed at the competing connection) — the blind
+        #: spot the paper's authors triaged by reading packet captures
+        self.packets_unmatched = 0
         #: callbacks fired as (role, new_state) on every inferred transition
         self.transition_listeners: List[Callable[[str, str], None]] = []
 
@@ -132,6 +146,7 @@ class StateTracker:
         sender = self._by_address.get(packet.src)
         receiver = self._by_address.get(packet.dst)
         if sender is None and receiver is None:
+            self.packets_unmatched += 1
             return None, packet_type
         self.packets_observed += 1
         sender_state = sender.state if sender is not None else None

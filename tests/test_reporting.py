@@ -1,0 +1,117 @@
+"""Renderers in :mod:`repro.core.reporting` (tables + telemetry report)."""
+
+from repro.core.controller import CampaignResult
+from repro.core.executor import RunError
+from repro.core.reporting import (
+    render_attack_clusters,
+    render_campaign_health,
+    render_metrics_summary,
+    render_slowest_runs,
+    render_strategy_timeline,
+    render_throughput_summary,
+    render_transition_log,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _result(**kwargs):
+    defaults = dict(protocol="tcp", variant="linux-3.13",
+                    strategies_generated=100, strategies_tried=10)
+    defaults.update(kwargs)
+    return CampaignResult(**defaults)
+
+
+class TestCampaignHealth:
+    def test_empty_result(self):
+        out = render_campaign_health(_result())
+        assert "Errors" in out and "Timed Out" in out
+        assert out.splitlines()[-1].split("|")[0].strip() == "0"
+
+    def test_error_only_result(self):
+        error = RunError(strategy_id=9, error_type="ValueError",
+                        message="boom", attempts=2)
+        out = render_campaign_health(_result(errors=[error]))
+        assert "strategy 9: ValueError after 2 attempt(s) — boom" in out
+
+    def test_timeout_labelled(self):
+        error = RunError(strategy_id=4, error_type="Timeout",
+                        message="cut off", timed_out=True)
+        out = render_campaign_health(_result(errors=[error], timed_out_count=1))
+        assert "strategy 4: timeout" in out
+
+
+class TestAttackClusters:
+    def test_empty_clusters(self):
+        out = render_attack_clusters(_result())
+        assert out.splitlines()[0].startswith("Attack")
+        assert len(out.splitlines()) == 2  # header + divider, no rows
+
+    def test_cluster_with_no_members(self):
+        out = render_attack_clusters(_result(attack_clusters={"Some Attack": []}))
+        assert "Some Attack" in out
+        assert "-" in out.splitlines()[-1]
+
+
+class TestTelemetryRenderers:
+    def test_throughput_empty(self):
+        out = render_throughput_summary({}, [])
+        assert "no metrics recorded" in out
+
+    def test_throughput_populated(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("runs.completed", 4)
+        reg.inc("sim.events", 4000)
+        for value in (0.5, 1.0, 1.5, 2.0):
+            reg.histogram("run.wall_seconds").observe(value)
+        out = render_throughput_summary(reg.snapshot(), [])
+        assert "runs executed        4" in out
+        assert "simulator events     4,000" in out
+        assert "aggregate events/sec" in out
+
+    def test_metrics_summary_empty(self):
+        assert render_metrics_summary({}) == "(empty metrics snapshot)"
+
+    def test_metrics_summary_tables(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("proxy.injected", 12)
+        reg.gauge("link.queue_peak").set(7)
+        reg.histogram("run.wall_seconds").observe(0.3)
+        out = render_metrics_summary(reg.snapshot())
+        assert "proxy.injected" in out and "12" in out
+        assert "link.queue_peak" in out
+        assert "run.wall_seconds" in out and "p99" in out
+
+    def test_slowest_runs(self):
+        runs = [
+            {"stage": "sweep", "strategy_id": 1, "attempt": 0, "seed": 7, "dur": 0.5},
+            {"stage": "sweep", "strategy_id": 2, "attempt": 0, "seed": 7, "dur": 2.5},
+        ]
+        out = render_slowest_runs(runs, limit=1)
+        assert "2" in out and "2.500" in out
+        assert "0.500" not in out  # limit applied, slowest first
+        assert render_slowest_runs([], 5) == "(no run spans in trace)"
+
+    def test_timeline(self):
+        events = [
+            {"ts": 10.0, "kind": "span", "name": "run", "dur": 1.5, "attempt": 0},
+            {"ts": 10.2, "kind": "event", "name": "tracker.transition",
+             "attempt": 0, "fields": {"src": "CLOSED", "dst": "SYN_SENT"}},
+        ]
+        out = render_strategy_timeline(42, events)
+        assert out.startswith("strategy 42 timeline (2 records)")
+        assert "+   0.200s" in out
+        assert "src=CLOSED" in out
+        assert render_strategy_timeline(None, []) == "baseline: (no trace records)"
+
+    def test_transition_log_truncates(self):
+        transitions = [
+            {"stage": "sweep", "strategy_id": 1,
+             "fields": {"role": "client", "sim_time": 0.1 * i,
+                        "src": "A", "event": "rcv X", "dst": "B"}}
+            for i in range(5)
+        ]
+        out = render_transition_log(transitions, limit=2)
+        assert "3 more transition(s)" in out
+        assert render_transition_log([], 5) == "(no tracker transitions in trace)"
+        full = render_transition_log(transitions, limit=None)
+        assert "more transition" not in full

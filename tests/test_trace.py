@@ -1,7 +1,5 @@
 """Packet capture (the tcpdump analog)."""
 
-import pytest
-
 from repro.netsim.trace import PacketTrace, TraceRecord
 from repro.packets.tcp import tcp_packet_type
 
@@ -45,11 +43,33 @@ class TestCapture:
         types = [record.packet_type for record in trace.records[:3]]
         assert types == ["SYN", "SYN+ACK", "ACK"]
 
-    def test_refuses_double_tap(self):
+    def test_wraps_existing_tap(self):
+        """attach() composes with a tap already on the link (e.g. a proxy)."""
         pair = TcpPair()
-        make_trace(pair)
-        with pytest.raises(RuntimeError):
-            make_trace(pair)
+        seen = []
+
+        def counting_tap(packet, pipe):
+            seen.append(packet.src)
+            pipe.enqueue(packet)
+
+        pair.link.ab.tap = counting_tap
+        pair.link.ba.tap = counting_tap
+        trace = make_trace(pair)
+        pair.server.listen(80, lambda conn: RecordingApp())
+        conn = pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=1.0)
+        assert conn.state == "ESTABLISHED"  # inner tap still delivers
+        assert seen  # inner tap still sees every packet
+        assert len(trace) == len(seen)  # trace recorded the same packets
+
+    def test_two_traces_stack(self):
+        pair = TcpPair()
+        first = make_trace(pair)
+        second = make_trace(pair)
+        pair.server.listen(80, lambda conn: RecordingApp())
+        pair.client.connect("server", 80, RecordingApp())
+        pair.run(until=1.0)
+        assert len(first) == len(second) > 0
 
     def test_overflow_cap(self):
         pair = TcpPair()
