@@ -44,6 +44,7 @@ from repro.core.reporting import (
 from repro.dccpstack.variants import DCCP_VARIANTS
 from repro.obs import ObsConfig
 from repro.obs.store import (
+    has_baseline,
     load_metrics_snapshot,
     load_trace_dir,
     run_spans,
@@ -164,6 +165,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _strategy_token(value: str) -> Optional[int]:
+    """``--strategy`` value: a strategy id, or ``baseline`` (-> ``None``)
+    for the non-attack baseline runs (which carry no strategy id)."""
+    if value.lower() == "baseline":
+        return None
+    return int(value)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Render a recorded campaign's telemetry (``repro report``)."""
     try:
@@ -185,19 +194,26 @@ def cmd_report(args: argparse.Namespace) -> int:
     print("Slowest runs")
     print(render_slowest_runs(runs, args.slowest))
 
-    if args.strategy:
+    if args.strategy is not None:
         shown_ids: List[Optional[int]] = list(args.strategy)
     else:
-        shown_ids = list(strategy_ids(events))[: args.timelines]
+        # default view: the baseline timeline (when traced) plus the first
+        # few strategies
+        shown_ids = [None] if has_baseline(events) else []
+        shown_ids += list(strategy_ids(events))[: args.timelines]
     for sid in shown_ids:
         print()
         print(render_strategy_timeline(sid, strategy_timeline(events, sid)))
 
-    transitions = (
-        transition_events(events, args.strategy[0])
-        if args.strategy
-        else transition_events(events)
-    )
+    if args.strategy:
+        first = args.strategy[0]
+        transitions = (
+            transition_events(events, stage="baseline")
+            if first is None
+            else transition_events(events, first)
+        )
+    else:
+        transitions = transition_events(events)
     print()
     print("State-transition audit log")
     print(render_transition_log(transitions, args.transitions))
@@ -275,9 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trace directory written by campaign --trace-dir")
     sub.add_argument("metrics", metavar="METRICS", nargs="?", default=None,
                      help="metrics snapshot written by campaign --metrics-out")
-    sub.add_argument("--strategy", type=int, action="append", default=None,
-                     help="show the timeline for this strategy id (repeatable); "
-                          "also narrows the transition log to the first id given")
+    sub.add_argument("--strategy", type=_strategy_token, action="append", default=None,
+                     help="show the timeline for this strategy id, or 'baseline' "
+                          "for the non-attack baseline runs (repeatable); also "
+                          "narrows the transition log to the first value given")
     sub.add_argument("--slowest", type=int, default=10,
                      help="rows in the slowest-runs table")
     sub.add_argument("--timelines", type=int, default=3,

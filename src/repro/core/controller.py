@@ -336,7 +336,7 @@ class Controller:
         on_path, false_positives, true_strategies = partition(flagged)
         clusters = cluster_attacks(true_strategies)
 
-        self._finish_profiles(all_runs)
+        self._finish_profiles(all_runs, errors)
         metrics_snapshot = METRICS.snapshot() if METRICS.enabled else {}
         if BUS.enabled:
             BUS.emit(
@@ -367,10 +367,17 @@ class Controller:
         )
 
     # ------------------------------------------------------------------
-    def _finish_profiles(self, runs: Sequence[RunResult]) -> None:
-        """Keep profiles only for the N slowest runs (``--profile``)."""
+    def _finish_profiles(
+        self, runs: Sequence[RunResult], errors: Sequence[RunError] = ()
+    ) -> None:
+        """Keep profiles only for the N slowest runs (``--profile``).
+
+        Failed and timed-out attempts rank alongside successes — the wedged
+        runs that hit the watchdog are exactly the ones worth profiling.
+        """
         if self.obs is None or not self.obs.profile_dir:
             return
-        slowest = sorted(runs, key=lambda r: r.wall_seconds, reverse=True)
+        outcomes: List[RunOutcome] = [*runs, *errors]
+        slowest = sorted(outcomes, key=lambda r: r.wall_seconds, reverse=True)
         keep = [r.run_id for r in slowest[: self.obs.profile_keep] if r.run_id]
         prune_profiles(self.obs.profile_dir, keep)

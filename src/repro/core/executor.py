@@ -158,6 +158,11 @@ class RunError:
     timed_out: bool = False
     attempts: int = 1
     seeds: Tuple[Optional[int], ...] = ()
+    #: trace/profile identity of the final failed attempt (same convention
+    #: as :attr:`RunResult.run_id`), so its ``--profile`` dump can be kept
+    run_id: str = ""
+    #: real seconds the final failed attempt took before crashing/timing out
+    wall_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

@@ -90,6 +90,22 @@ def run_id_for(stage: str, strategy_id: Optional[int], attempt: int) -> str:
     return f"{stage}-{sid}-a{attempt}"
 
 
+def _worker_init(obs_cfg: Optional[ObsConfig]) -> None:
+    """Pool initializer: give every fresh worker a clean telemetry slate.
+
+    Forked workers inherit the parent's registry — baseline counts before
+    the sweep pool, merged sweep totals before the confirm pool — and an
+    inherited ``_APPLIED`` makes ``configure_observability`` a no-op, so
+    without this reset each worker's first metrics delta would re-ship the
+    inherited counts and the parent would double-count them on merge.
+    (The serial path is immune: there the parent's own ``snapshot_and_reset``
+    removes exactly what the merge puts back.)
+    """
+    if obs_cfg is not None:
+        configure_observability(obs_cfg)
+    METRICS.reset()
+
+
 def _execute_one(item: WorkItem) -> WorkerReply:
     """Top-level worker function (must be picklable, must never raise)."""
     config, strategy, seed, policy, obs_cfg, stage = item
@@ -114,6 +130,7 @@ def _execute_one(item: WorkItem) -> WorkerReply:
             if pause > 0:
                 time.sleep(pause)
         run_id = run_id_for(stage, strategy_id, attempt)
+        attempt_t0 = time.perf_counter()
         with BUS.scope(stage=stage, strategy_id=strategy_id, attempt=attempt, seed=attempt_seed):
             try:
                 with BUS.span("run"), profile_run(profile_dir, run_id):
@@ -127,6 +144,8 @@ def _execute_one(item: WorkItem) -> WorkerReply:
                     error_type=type(exc).__name__,
                     message=str(exc),
                     traceback_summary=traceback.format_exc(limit=8),
+                    run_id=run_id,
+                    wall_seconds=time.perf_counter() - attempt_t0,
                 )
                 continue
         if result.timed_out:
@@ -138,6 +157,8 @@ def _execute_one(item: WorkItem) -> WorkerReply:
                     f"after {result.events_processed} events"
                 ),
                 timed_out=True,
+                run_id=run_id,
+                wall_seconds=result.wall_seconds,
             )
             continue
         result.attempts = attempt + 1
@@ -210,7 +231,9 @@ def run_strategies(
     results: List[Optional[RunOutcome]] = [None] * total
     pool_error: Optional[BaseException] = None
     try:
-        with context.Pool(processes=workers) as pool:
+        with context.Pool(
+            processes=workers, initializer=_worker_init, initargs=(obs,)
+        ) as pool:
             for done, (index, (outcome, delta)) in enumerate(
                 pool.imap_unordered(
                     _execute_indexed,

@@ -57,18 +57,36 @@ def run_spans(events: List[TraceEvent]) -> List[TraceEvent]:
 
 
 def transition_events(
-    events: List[TraceEvent], strategy_id: Optional[int] = None
+    events: List[TraceEvent],
+    strategy_id: Optional[int] = None,
+    stage: Optional[str] = None,
 ) -> List[TraceEvent]:
-    """State-tracker transition events, optionally for one strategy."""
+    """State-tracker transition events, optionally narrowed to one strategy
+    and/or one campaign stage (e.g. ``"baseline"``)."""
     out = [e for e in events if e.get("name") == "tracker.transition"]
     if strategy_id is not None:
         out = [e for e in out if e.get("strategy_id") == strategy_id]
+    if stage is not None:
+        out = [e for e in out if e.get("stage") == stage]
     return out
 
 
-def strategy_timeline(events: List[TraceEvent], strategy_id: int) -> List[TraceEvent]:
-    """Every record carrying the given strategy id, in time order."""
+def strategy_timeline(
+    events: List[TraceEvent], strategy_id: Optional[int]
+) -> List[TraceEvent]:
+    """Every record carrying the given strategy id, in time order.
+
+    ``None`` selects the baseline timeline instead: the baseline runs carry
+    no strategy id, so they are identified by their ``stage`` tag.
+    """
+    if strategy_id is None:
+        return [e for e in events if e.get("stage") == "baseline"]
     return [e for e in events if e.get("strategy_id") == strategy_id]
+
+
+def has_baseline(events: List[TraceEvent]) -> bool:
+    """Whether the trace contains baseline-stage records."""
+    return any(e.get("stage") == "baseline" for e in events)
 
 
 def strategy_ids(events: List[TraceEvent]) -> List[int]:

@@ -6,7 +6,8 @@ import os
 import pytest
 
 from repro.cli import main as cli_main
-from repro.core.executor import TestbedConfig
+from repro.core.controller import Controller
+from repro.core.executor import RunError, RunResult, TestbedConfig
 from repro.core.parallel import run_id_for, run_strategies
 from repro.core.strategy import Strategy
 from repro.obs import (
@@ -26,6 +27,7 @@ from repro.obs import (
 from repro.obs import config as obs_config
 from repro.obs.metrics import Histogram
 from repro.obs.store import (
+    has_baseline,
     load_metrics_snapshot,
     load_trace_dir,
     run_spans,
@@ -203,6 +205,23 @@ class TestProfiling:
     def test_prune_missing_dir_is_noop(self, tmp_path):
         assert prune_profiles(str(tmp_path / "nope"), []) == 0
 
+    def test_finish_profiles_ranks_failed_runs_too(self, tmp_path):
+        """A wedged (timed-out) attempt slower than every success keeps its
+        profile — those are the runs profiling exists to diagnose."""
+        pdir = str(tmp_path)
+        for run_id in ("sweep-1-a0", "sweep-2-a0"):
+            with profile_run(pdir, run_id):
+                sum(range(100))
+        controller = Controller(
+            TestbedConfig(), obs=ObsConfig(profile_dir=pdir, profile_keep=1)
+        )
+        fast_ok = RunResult(strategy_id=1, protocol="tcp", variant="linux-3.13",
+                            duration=1.0, run_id="sweep-1-a0", wall_seconds=0.1)
+        wedged = RunError(strategy_id=2, error_type="Timeout", message="watchdog",
+                          timed_out=True, run_id="sweep-2-a0", wall_seconds=9.0)
+        controller._finish_profiles([fast_ok], [wedged])
+        assert [p.name for p in tmp_path.glob("*.pstats")] == ["sweep-2-a0.pstats"]
+
 
 class TestConfigure:
     def test_all_off_config_is_inactive(self):
@@ -252,11 +271,66 @@ class TestWorkerMetricsMerge:
         assert all(s["stage"] == "sweep" for s in spans)
         assert transition_events(events)  # trackers traced from the workers
 
+    def test_fork_workers_do_not_reship_parent_counts(self):
+        """Counts already in the parent registry at pool-creation time (the
+        baseline's metrics before the sweep, sweep totals before confirm)
+        must not ride along in forked workers' deltas and get re-merged."""
+        config = TestbedConfig(protocol="tcp", variant="linux-3.13",
+                               duration=1.0, client_stop_at=0.5)
+        obs = ObsConfig(metrics=True)
+        configure_observability(obs)
+        METRICS.inc("parent.marker", 7)
+        results = run_strategies(
+            config, self._strategies(2), workers=2, chunksize=1, obs=obs, stage="sweep"
+        )
+        assert all(isinstance(r, RunResult) for r in results)
+        snap = METRICS.snapshot()
+        assert snap["counters"]["parent.marker"] == 7  # not ×(workers+1)
+        assert snap["counters"]["runs.completed"] == 2
+
+
+class TestBaselineSelections:
+    def _events(self):
+        return [
+            {"ts": 1.0, "kind": "span", "name": "run", "stage": "baseline",
+             "attempt": 0, "seed": 101},
+            {"ts": 1.1, "kind": "event", "name": "tracker.transition",
+             "stage": "baseline", "attempt": 0,
+             "fields": {"role": "client", "sim_time": 0.0,
+                        "src": "CLOSED", "event": "snd SYN", "dst": "SYN_SENT"}},
+            {"ts": 2.0, "kind": "span", "name": "run", "stage": "sweep",
+             "strategy_id": 3, "attempt": 0, "seed": 7},
+            {"ts": 2.1, "kind": "event", "name": "tracker.transition",
+             "stage": "sweep", "strategy_id": 3, "attempt": 0,
+             "fields": {"role": "client", "sim_time": 0.0,
+                        "src": "CLOSED", "event": "snd SYN", "dst": "SYN_SENT"}},
+        ]
+
+    def test_timeline_none_selects_baseline_records(self):
+        events = self._events()
+        baseline = strategy_timeline(events, None)
+        assert [e["stage"] for e in baseline] == ["baseline", "baseline"]
+        assert strategy_timeline(events, 3) == events[2:]
+
+    def test_transition_events_stage_filter(self):
+        events = self._events()
+        assert [e["stage"] for e in transition_events(events, stage="baseline")] == ["baseline"]
+        assert len(transition_events(events)) == 2
+
+    def test_has_baseline(self):
+        assert has_baseline(self._events())
+        assert not has_baseline(self._events()[2:])
+
 
 class TestReportCli:
-    def _write_trace(self, trace_dir):
+    def _write_trace(self, trace_dir, baseline=False):
         sink = JsonlTraceSink(str(trace_dir))
         BUS.configure(sink)
+        if baseline:
+            with BUS.scope(stage="baseline", attempt=0, seed=101):
+                with BUS.span("run"):
+                    BUS.emit("tracker.transition", role="client", sim_time=0.0,
+                             src="CLOSED", event="snd SYN", dst="SYN_SENT")
         with BUS.scope(stage="sweep", strategy_id=3, attempt=0, seed=7):
             with BUS.span("run"):
                 BUS.emit("tracker.transition", role="client", sim_time=0.0,
@@ -291,6 +365,22 @@ class TestReportCli:
         out = capsys.readouterr().out
         assert "strategy 3 timeline" in out
         assert "simulator events" not in out  # metrics sections absent
+
+    def test_report_strategy_baseline_token(self, tmp_path, capsys):
+        trace_dir = tmp_path / "t"
+        self._write_trace(trace_dir, baseline=True)
+        assert cli_main(["report", str(trace_dir), "--strategy", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline timeline" in out
+        assert "strategy 3 timeline" not in out
+
+    def test_report_default_includes_baseline_timeline(self, tmp_path, capsys):
+        trace_dir = tmp_path / "t"
+        self._write_trace(trace_dir, baseline=True)
+        assert cli_main(["report", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline timeline" in out
+        assert "strategy 3 timeline" in out
 
     def test_report_missing_trace_dir(self, tmp_path, capsys):
         assert cli_main(["report", str(tmp_path / "nope")]) == 2

@@ -38,6 +38,8 @@ class TestCrashIsolation:
         assert error.error_type == "ValueError"
         assert "percent" in error.message
         assert "ValueError" in error.traceback_summary
+        assert error.run_id == "sweep-2-a0"  # names its --profile dump
+        assert error.wall_seconds > 0
 
     def test_parallel_pool_survives_worker_exceptions(self):
         outcomes = run_strategies(
@@ -104,6 +106,8 @@ class TestWatchdogs:
         assert error.error_type == "Timeout"
         assert error.timed_out
         assert error.attempts == 2
+        assert error.run_id == "sweep-1-a1"  # the final failed attempt
+        assert error.wall_seconds > 0
 
 
 class TestRetry:
