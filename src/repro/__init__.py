@@ -17,8 +17,9 @@ Package map
 ``repro.apps``          bulk-download and iperf-like workloads
 ``repro.proxy``         the eight basic attacks + injection campaigns
 ``repro.core``          SNAKE: generation, execution, detection, reporting
+``repro.api``           the stable facade: ``CampaignSpec`` + ``run_campaign``
 
-Entry points: ``python -m repro`` (CLI), ``repro.core.Controller``
+Entry points: ``python -m repro`` (CLI), ``repro.api.run_campaign``
 (programmatic campaigns), ``examples/`` (runnable walkthroughs).
 """
 

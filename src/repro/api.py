@@ -1,0 +1,242 @@
+"""The stable campaign API: one spec in, one result out.
+
+Everything a campaign needs — target, generation knobs, retry policy,
+cache, batching, checkpointing, observability — lives in a single
+:class:`CampaignSpec` value, and :func:`run_campaign` is the one entry
+point.  A spec round-trips exactly through :meth:`CampaignSpec.to_dict` /
+:meth:`CampaignSpec.from_dict`, so a campaign is reproducible from a single
+JSON artifact (``repro campaign --spec spec.json``) and its
+:meth:`~CampaignSpec.fingerprint` names the campaign for checkpoint-journal
+compatibility checks.
+
+The pre-spec calling convention (``Controller(config, workers=...,
+retries=..., ...)``) keeps working, and :func:`run_campaign_legacy` wraps
+it for callers that still pass the old kwarg soup — it emits a
+``DeprecationWarning`` and simply builds the equivalent spec.
+
+    >>> from repro.api import CampaignSpec, run_campaign
+    >>> from repro.core import TestbedConfig
+    >>> spec = CampaignSpec(testbed=TestbedConfig(protocol="tcp"),
+    ...                     sample_every=500, cache_dir="runcache")
+    >>> result = run_campaign(spec)                    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.cache import campaign_fingerprint
+from repro.core.controller import CampaignResult, Controller
+from repro.core.executor import TestbedConfig
+from repro.core.generation import GenerationConfig
+from repro.core.parallel import DEFAULT_BATCH_SIZE, RetryPolicy
+from repro.obs.config import ObsConfig
+
+#: bump on incompatible spec-dict changes; ``from_dict`` rejects unknown majors
+SPEC_VERSION = 1
+
+#: GenerationConfig fields whose JSON lists must come back as tuples for the
+#: round-trip to be exact (dataclass defaults are tuples)
+_GENERATION_SEQUENCE_FIELDS = (
+    "drop_percents", "duplicate_copies", "delay_seconds", "batch_windows",
+    "inject_counts", "hsw_intervals", "hsw_stride_divisors",
+)
+
+ProgressHook = Callable[[str, int, int], None]
+
+
+def _from_known(cls: type, data: Dict[str, Any]) -> Dict[str, Any]:
+    known = {f.name for f in fields(cls)}
+    return {k: v for k, v in data.items() if k in known}
+
+
+def _generation_from_dict(data: Dict[str, Any]) -> GenerationConfig:
+    kwargs = _from_known(GenerationConfig, data)
+    for name in _GENERATION_SEQUENCE_FIELDS:
+        if name in kwargs:
+            kwargs[name] = tuple(kwargs[name])
+    return GenerationConfig(**kwargs)
+
+
+@dataclass
+class CampaignSpec:
+    """Everything that defines one campaign, as one picklable value.
+
+    Field groups mirror the subsystems they configure: ``testbed`` is the
+    executor's world, ``generation`` the strategy enumeration (``None`` =
+    protocol defaults), ``retry`` the fault-tolerance policy, ``cache_dir``
+    / ``batch_size`` the execution engine, ``checkpoint`` / ``resume`` the
+    journal, and ``obs`` the telemetry (``None`` = everything off).
+    """
+
+    testbed: TestbedConfig = field(default_factory=TestbedConfig)
+    generation: Optional[GenerationConfig] = None
+    workers: Optional[int] = None
+    confirm: bool = True
+    sample_every: int = 1
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint: Optional[str] = None
+    resume: bool = False
+    cache_dir: Optional[str] = None
+    batch_size: int = DEFAULT_BATCH_SIZE
+    obs: Optional[ObsConfig] = None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dump; exact inverse of :meth:`from_dict`."""
+        return {
+            "version": SPEC_VERSION,
+            "testbed": self.testbed.to_dict(),
+            "generation": None if self.generation is None else asdict(self.generation),
+            "workers": self.workers,
+            "confirm": self.confirm,
+            "sample_every": self.sample_every,
+            "retry": asdict(self.retry),
+            "checkpoint": self.checkpoint,
+            "resume": self.resume,
+            "cache_dir": self.cache_dir,
+            "batch_size": self.batch_size,
+            "obs": None if self.obs is None else asdict(self.obs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output (e.g. a spec file).
+
+        Sequence-valued generation knobs normalize back to tuples, so
+        ``from_dict(spec.to_dict()) == spec`` holds exactly.  Unknown keys
+        inside the nested configs are ignored for forward compatibility,
+        but an incompatible ``version`` is rejected loudly.
+        """
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"spec version {version!r} not supported (expected {SPEC_VERSION})"
+            )
+        generation = data.get("generation")
+        obs = data.get("obs")
+        return cls(
+            testbed=TestbedConfig.from_dict(data.get("testbed", {})),
+            generation=None if generation is None else _generation_from_dict(generation),
+            workers=data.get("workers"),
+            confirm=data.get("confirm", True),
+            sample_every=data.get("sample_every", 1),
+            retry=RetryPolicy(**_from_known(RetryPolicy, data.get("retry", {}))),
+            checkpoint=data.get("checkpoint"),
+            resume=data.get("resume", False),
+            cache_dir=data.get("cache_dir"),
+            batch_size=data.get("batch_size", DEFAULT_BATCH_SIZE),
+            obs=None if obs is None else ObsConfig(**_from_known(ObsConfig, obs)),
+        )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Hash of the outcome-affecting slice of this spec.
+
+        Two specs with equal fingerprints compute the same campaign:
+        workers, batch size, cache/checkpoint paths and observability are
+        excluded because they change how a campaign runs, not what it
+        finds.  Stored in the checkpoint-journal header so ``resume``
+        refuses a journal written under a different spec.
+        """
+        return campaign_fingerprint(
+            self.testbed, self.generation, self.sample_every, self.confirm,
+            self.retry.retries,
+        )
+
+    def with_overrides(self, **changes: Any) -> "CampaignSpec":
+        """A copy with the given fields replaced (convenience for the CLI)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def build_controller(self) -> Controller:
+        """Materialize the configured :class:`~repro.core.Controller`."""
+        return Controller(
+            self.testbed,
+            generation=self.generation,
+            workers=self.workers,
+            confirm=self.confirm,
+            sample_every=self.sample_every,
+            retries=self.retry.retries,
+            retry_backoff=self.retry.backoff,
+            checkpoint=self.checkpoint,
+            resume=self.resume,
+            obs=self.obs,
+            cache_dir=self.cache_dir,
+            batch_size=self.batch_size,
+        )
+
+
+# keep pytest from collecting the dataclass as a test class
+CampaignSpec.__test__ = False  # type: ignore[attr-defined]
+
+
+def run_campaign(
+    spec: CampaignSpec, progress: Optional[ProgressHook] = None
+) -> CampaignResult:
+    """Run one campaign described by ``spec`` — the stable entry point.
+
+    ``progress(stage, done, total)`` is invoked from the parent process as
+    runs finish ("baseline" / "sweep" / "confirm").
+    """
+    return spec.build_controller().run_campaign(progress=progress)
+
+
+def spec_from_kwargs(config: TestbedConfig, **kwargs: Any) -> CampaignSpec:
+    """Translate the pre-spec kwarg soup into a :class:`CampaignSpec`.
+
+    Accepts exactly the keywords the old ``Controller(config, ...)`` call
+    took (``workers``, ``confirm``, ``sample_every``, ``retries``,
+    ``retry_backoff``, ``checkpoint``, ``resume``, ``obs``, plus the newer
+    ``cache_dir``/``batch_size``); the shim and its tests share this so
+    legacy calls provably build the same spec.
+    """
+    retry = RetryPolicy(
+        retries=kwargs.pop("retries", 0), backoff=kwargs.pop("retry_backoff", 0.0)
+    )
+    spec = CampaignSpec(
+        testbed=config,
+        generation=kwargs.pop("generation", None),
+        workers=kwargs.pop("workers", None),
+        confirm=kwargs.pop("confirm", True),
+        sample_every=kwargs.pop("sample_every", 1),
+        retry=retry,
+        checkpoint=kwargs.pop("checkpoint", None),
+        resume=kwargs.pop("resume", False),
+        cache_dir=kwargs.pop("cache_dir", None),
+        batch_size=kwargs.pop("batch_size", DEFAULT_BATCH_SIZE),
+        obs=kwargs.pop("obs", None),
+    )
+    if kwargs:
+        raise TypeError(f"unknown campaign keyword(s): {sorted(kwargs)}")
+    return spec
+
+
+def run_campaign_legacy(
+    config: TestbedConfig,
+    progress: Optional[ProgressHook] = None,
+    **kwargs: Any,
+) -> CampaignResult:
+    """Deprecated kwarg-style entry point; use :func:`run_campaign`.
+
+    Thin shim: builds the equivalent :class:`CampaignSpec` via
+    :func:`spec_from_kwargs` and delegates.
+    """
+    warnings.warn(
+        "run_campaign_legacy(config, **kwargs) is deprecated; build a "
+        "CampaignSpec and call run_campaign(spec)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_campaign(spec_from_kwargs(config, **kwargs), progress=progress)
+
+
+__all__ = [
+    "SPEC_VERSION",
+    "CampaignSpec",
+    "run_campaign",
+    "run_campaign_legacy",
+    "spec_from_kwargs",
+]

@@ -22,10 +22,11 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.api import CampaignSpec, run_campaign
 from repro.core import (
-    Controller,
     Executor,
     JournalMismatch,
+    RetryPolicy,
     TestbedConfig,
     compare_injection_models,
 )
@@ -79,10 +80,16 @@ def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
                         help="implementation variant (default: linux-3.13 / linux-3.13-dccp)")
 
 
-def _resolve_variant(args: argparse.Namespace) -> str:
-    if args.variant is not None:
-        return args.variant
-    return "linux-3.13" if args.protocol == "tcp" else "linux-3.13-dccp"
+def _testbed_from_args(args: argparse.Namespace, **overrides: object) -> TestbedConfig:
+    """The one place target flags become a :class:`TestbedConfig`.
+
+    Every subcommand that takes ``--protocol``/``--variant`` goes through
+    here; ``overrides`` carries subcommand-specific extras (watchdogs).
+    """
+    variant = args.variant
+    if variant is None:
+        variant = "linux-3.13" if args.protocol == "tcp" else "linux-3.13-dccp"
+    return TestbedConfig(protocol=args.protocol, variant=variant, **overrides)  # type: ignore[arg-type]
 
 
 def cmd_variants(args: argparse.Namespace) -> int:
@@ -98,8 +105,7 @@ def cmd_variants(args: argparse.Namespace) -> int:
 
 
 def cmd_baseline(args: argparse.Namespace) -> int:
-    config = TestbedConfig(protocol=args.protocol, variant=_resolve_variant(args))
-    result = Executor(config).run(None)
+    result = Executor(_testbed_from_args(args)).run(None)
     print(f"target connection:    {result.target_bytes} bytes")
     print(f"competing connection: {result.competing_bytes} bytes")
     print(f"server1 census:       {result.server1_census or '{}'}")
@@ -121,24 +127,52 @@ def _obs_from_args(args: argparse.Namespace) -> Optional[ObsConfig]:
     )
 
 
+def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Build the campaign's :class:`CampaignSpec` from CLI flags.
+
+    ``--spec FILE`` loads the whole spec from one JSON artifact (written by
+    ``--spec-out`` or by hand) and takes precedence over the per-field
+    flags; ``--no-cache`` still applies on top so a cached spec can be
+    forced to re-execute.
+    """
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            spec = CampaignSpec.from_dict(json.load(fh))
+    else:
+        spec = CampaignSpec(
+            testbed=_testbed_from_args(
+                args, max_events=args.max_events, run_budget=args.run_budget
+            ),
+            workers=args.workers,
+            sample_every=args.sample_every,
+            retry=RetryPolicy(retries=args.retries, backoff=args.retry_backoff),
+            checkpoint=args.resume if args.resume else args.checkpoint,
+            resume=args.resume is not None,
+            cache_dir=args.cache_dir,
+            batch_size=args.batch_size,
+            obs=_obs_from_args(args),
+        )
+    if args.no_cache:
+        spec = spec.with_overrides(cache_dir=None)
+    return spec
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
-    config = TestbedConfig(
-        protocol=args.protocol,
-        variant=_resolve_variant(args),
-        max_events=args.max_events,
-        run_budget=args.run_budget,
-    )
-    checkpoint = args.resume if args.resume else args.checkpoint
-    controller = Controller(
-        config,
-        workers=args.workers,
-        sample_every=args.sample_every,
-        retries=args.retries,
-        retry_backoff=args.retry_backoff,
-        checkpoint=checkpoint,
-        resume=args.resume is not None,
-        obs=_obs_from_args(args),
-    )
+    try:
+        spec = _spec_from_args(args)
+    except (OSError, ValueError, TypeError) as exc:
+        sys.stderr.write(f"error: cannot build campaign spec: {exc}\n")
+        return 2
+    if args.spec_out:
+        with open(args.spec_out, "w", encoding="utf-8") as fh:
+            json.dump(spec.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        sys.stderr.write(f"campaign spec written to {args.spec_out}\n")
+    if args.dry_run:
+        # the reproducibility artifact on stdout; identity on stderr
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        sys.stderr.write(f"spec fingerprint: {spec.fingerprint()}\n")
+        return 0
     started = time.time()
 
     def progress(stage: str, done: int, total: int) -> None:
@@ -147,7 +181,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             sys.stderr.flush()
 
     try:
-        result = controller.run_campaign(progress=progress)
+        result = run_campaign(spec, progress=progress)
     except JournalMismatch as exc:
         sys.stderr.write(f"\nerror: {exc}\n")
         return 2
@@ -229,8 +263,7 @@ def cmd_searchspace(args: argparse.Namespace) -> int:
         generator = StrategyGenerator("tcp", TCP_FORMAT, tcp_state_machine())
     else:
         generator = StrategyGenerator("dccp", DCCP_FORMAT, dccp_state_machine())
-    config = TestbedConfig(protocol=args.protocol, variant=_resolve_variant(args))
-    baseline_run = Executor(config).run(None)
+    baseline_run = Executor(_testbed_from_args(args)).run(None)
     print(render_searchspace(compare_injection_models(generator, baseline_run)))
     return 0
 
@@ -271,7 +304,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="journal completed runs to this JSONL file as they finish")
     sub.add_argument("--resume", metavar="JOURNAL", default=None,
                      help="resume from (and keep appending to) an existing journal, "
-                          "skipping already-completed strategies")
+                          "skipping already-completed strategies (refused if the "
+                          "journal was written under a different spec)")
+    sub.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="content-addressed run cache: restore any run already "
+                          "on disk instead of simulating it, persist fresh runs")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="ignore any cache directory (including one from --spec)")
+    sub.add_argument("--batch-size", type=int, default=8,
+                     help="strategies dispatched per worker round-trip")
+    sub.add_argument("--spec", metavar="JSON", default=None,
+                     help="load the whole campaign from a spec file (see --spec-out); "
+                          "overrides the per-field flags")
+    sub.add_argument("--spec-out", metavar="JSON", default=None,
+                     help="write the resolved campaign spec to this file")
+    sub.add_argument("--dry-run", action="store_true",
+                     help="print the resolved spec (and its fingerprint) "
+                          "without running the campaign")
     sub.add_argument("--trace-dir", metavar="DIR", default=None,
                      help="record structured JSONL event traces into this directory "
                           "(one file per worker process)")

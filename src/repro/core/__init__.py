@@ -18,17 +18,25 @@
   repeat-to-confirm, classification, clustering.
 * :mod:`repro.core.baselines` — the send-packet-based and
   time-interval-based injection baselines of Section VI-C.
-* :mod:`repro.core.parallel` — multiprocessing strategy execution (the
-  paper's parallel executors) with per-run crash isolation and
-  deterministic retry.
+* :mod:`repro.core.parallel` — batched multiprocessing strategy execution
+  (the paper's parallel executors) with one pool per campaign, per-run
+  crash isolation and deterministic retry.
+* :mod:`repro.core.cache` — the content-addressed run cache: fingerprints
+  of (strategy behaviour, config, seed) mapped to persisted results so
+  repeated campaigns skip simulations already executed.
 * :mod:`repro.core.checkpoint` — the JSONL checkpoint journal behind
   ``repro campaign --checkpoint`` / ``--resume``.
 * :mod:`repro.core.reporting` — Table I / Table II renderers.
+
+The stable entry point for running campaigns is :mod:`repro.api`
+(:class:`~repro.api.CampaignSpec` + :func:`~repro.api.run_campaign`).
 """
 
 from repro.core.strategy import Strategy
-from repro.core.generation import GenerationConfig, StrategyGenerator
+from repro.core.generation import GenerationConfig, StrategyGenerator, dedupe_strategies
 from repro.core.executor import Executor, RunError, RunResult, TestbedConfig
+from repro.core.cache import RunCache, campaign_fingerprint, run_fingerprint
+from repro.core.parallel import RetryPolicy, WorkerPool
 from repro.core.checkpoint import CheckpointJournal, JournalMismatch
 from repro.core.detector import AttackDetector, BaselineMetrics, Detection
 from repro.core.classify import CLASS_FALSE_POSITIVE, CLASS_ON_PATH, CLASS_TRUE, classify
@@ -45,6 +53,12 @@ __all__ = [
     "RunError",
     "RunResult",
     "TestbedConfig",
+    "RunCache",
+    "RetryPolicy",
+    "WorkerPool",
+    "campaign_fingerprint",
+    "run_fingerprint",
+    "dedupe_strategies",
     "CheckpointJournal",
     "JournalMismatch",
     "AttackDetector",

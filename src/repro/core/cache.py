@@ -1,0 +1,192 @@
+"""Content-addressed run cache: never simulate the same run twice.
+
+The sweep's cost is dominated by simulator executions, and campaigns
+repeat them constantly — the confirm stage re-runs flagged strategies, a
+re-launched campaign re-runs everything, and A/B experiments re-run the
+unchanged arm.  Because the simulator is fully deterministic per seed, a
+completed :class:`~repro.core.executor.RunResult` is a pure function of
+(strategy behaviour, testbed config, seed).  This module fingerprints that
+triple and persists results on disk so any later campaign — baseline,
+sweep, confirm, or a whole repeat — skips simulations it has already paid
+for (the snapshot-reuse idea SNPSFuzzer applies to process state, applied
+here at run granularity).
+
+Fingerprint rules
+-----------------
+* ``run_fingerprint(config, strategy, seed)`` hashes the canonical JSON of
+  ``{config.to_dict(), strategy.canonical_form(), seed}`` with BLAKE2b.
+  ``strategy_id`` is deliberately excluded: ids depend on enumeration
+  order, behaviour does not.
+* Only clean first-attempt successes are cached (``attempts == 1`` and not
+  ``timed_out``): those are exactly the runs determinism guarantees will
+  repeat, independent of the campaign's retry policy.  Crashes, timeouts
+  and retried successes always re-execute.
+* ``campaign_fingerprint(...)`` hashes the execution-identity slice of a
+  campaign spec (testbed, generation, sampling, confirm, retries).  The
+  checkpoint journal stores it so ``--resume`` refuses a journal written
+  under a different spec instead of silently mixing outcomes.
+
+Layout: ``<cache_dir>/<fp[:2]>/<fp>.json`` — one JSON document per run,
+written atomically (tmp + rename), sharded two hex chars deep so a
+million-entry cache does not melt one directory.  A corrupt entry (torn
+write, hand edit) is treated as a miss, counted under ``cache.corrupt``,
+and deleted so it cannot poison later campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+from hashlib import blake2b
+from typing import Any, Dict, Optional
+
+from repro.core.executor import RunResult, TestbedConfig
+from repro.core.generation import GenerationConfig
+from repro.core.strategy import Strategy, _jsonable
+from repro.obs.metrics import METRICS
+
+log = logging.getLogger("repro.core.cache")
+
+#: bump when RunResult semantics change incompatibly (old entries then miss)
+CACHE_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, tuples as lists."""
+    return json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: Dict[str, Any]) -> str:
+    return blake2b(canonical_json(payload).encode(), digest_size=16).hexdigest()
+
+
+def run_fingerprint(
+    config: TestbedConfig, strategy: Optional[Strategy], seed: Optional[int]
+) -> str:
+    """Identity of one simulation run (strategy ``None`` = baseline run).
+
+    ``seed=None`` normalizes to ``config.seed`` — the executor's own
+    default — so explicit and implicit spellings of the same run collide.
+    """
+    return _digest({
+        "v": CACHE_VERSION,
+        "config": config.to_dict(),
+        "strategy": strategy.canonical_form() if strategy is not None else None,
+        "seed": config.seed if seed is None else seed,
+    })
+
+
+def campaign_fingerprint(
+    config: TestbedConfig,
+    generation: Optional[GenerationConfig],
+    sample_every: int,
+    confirm: bool,
+    retries: int,
+) -> str:
+    """Identity of a campaign's *outcome-affecting* configuration.
+
+    Workers, batch size, checkpoint paths and observability change how a
+    campaign runs, not what it computes, so they are excluded — a journal
+    written with 1 worker resumes cleanly under 8.
+    """
+    from dataclasses import asdict
+
+    return _digest({
+        "v": CACHE_VERSION,
+        "config": config.to_dict(),
+        "generation": asdict(generation if generation is not None else GenerationConfig()),
+        "sample_every": sample_every,
+        "confirm": confirm,
+        "retries": retries,
+    })
+
+
+class RunCache:
+    """Disk-backed map from run fingerprint to :class:`RunResult`.
+
+    Used from the parent process only: the controller/pool front-end looks
+    runs up before dispatching work, so a hit costs one small file read and
+    zero IPC.  Safe for concurrent campaigns sharing a directory — writes
+    are atomic renames and readers tolerate (count + delete) torn entries.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> str:
+        return os.path.join(self.root, fingerprint[:2], f"{fingerprint}.json")
+
+    @staticmethod
+    def cacheable(outcome: object) -> bool:
+        """Only clean first-attempt successes may enter the cache."""
+        return (
+            isinstance(outcome, RunResult)
+            and outcome.attempts == 1
+            and not outcome.timed_out
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[RunResult]:
+        """Return the cached result, or ``None`` (miss / corrupt entry)."""
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("fingerprint") != fingerprint or "outcome" not in entry:
+                raise ValueError("entry does not describe this fingerprint")
+            result = RunResult.from_dict(entry["outcome"])
+        except FileNotFoundError:
+            if METRICS.enabled:
+                METRICS.inc("cache.misses")
+            return None
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            log.warning("dropping corrupt cache entry %s: %s", path, exc)
+            if METRICS.enabled:
+                METRICS.inc("cache.corrupt")
+                METRICS.inc("cache.misses")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        result.cached = True
+        if METRICS.enabled:
+            METRICS.inc("cache.hits")
+        return result
+
+    def put(self, fingerprint: str, outcome: object) -> bool:
+        """Persist a cacheable outcome; returns whether it was stored."""
+        if not self.cacheable(outcome):
+            return False
+        assert isinstance(outcome, RunResult)
+        payload = outcome.to_dict()
+        payload["cached"] = False  # restored copies re-mark themselves
+        path = self.path_for(fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump({"fingerprint": fingerprint, "outcome": payload}, fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        if METRICS.enabled:
+            METRICS.inc("cache.stores")
+        return True
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        total = 0
+        for shard in os.listdir(self.root):
+            shard_path = os.path.join(self.root, shard)
+            if os.path.isdir(shard_path):
+                total += sum(1 for n in os.listdir(shard_path) if n.endswith(".json"))
+        return total

@@ -22,12 +22,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.attacks_catalog import cluster_attacks
+from repro.core.cache import RunCache, campaign_fingerprint, run_fingerprint
 from repro.core.checkpoint import CheckpointJournal, CompletedMap
 from repro.core.classify import partition
 from repro.core.detector import AttackDetector, BaselineMetrics, Detection
 from repro.core.executor import Executor, RunError, RunOutcome, RunResult, TestbedConfig
-from repro.core.generation import GenerationConfig, StrategyGenerator
-from repro.core.parallel import run_strategies
+from repro.core.generation import GenerationConfig, StrategyGenerator, dedupe_strategies
+from repro.core.parallel import DEFAULT_BATCH_SIZE, WorkerPool, run_strategies
 from repro.core.strategy import Strategy
 from repro.obs.bus import BUS
 from repro.obs.config import ObsConfig, configure_observability
@@ -70,6 +71,11 @@ class CampaignResult:
     retries_performed: int = 0
     #: outcomes restored from a checkpoint journal instead of re-run
     resumed_count: int = 0
+    #: runs restored from the content-addressed run cache (zero simulator
+    #: executions spent), across baseline/sweep/confirm
+    cache_hits: int = 0
+    #: parameter-equivalent strategies collapsed before execution
+    strategies_collapsed: int = 0
     #: merged metrics snapshot (parent + all workers) when the campaign ran
     #: with metrics enabled; empty otherwise.  The payload written by
     #: ``repro campaign --metrics-out``.
@@ -98,6 +104,8 @@ class CampaignResult:
             "timed_out": self.timed_out_count,
             "retries": self.retries_performed,
             "resumed": self.resumed_count,
+            "cache_hits": self.cache_hits,
+            "collapsed": self.strategies_collapsed,
         }
 
 
@@ -116,6 +124,8 @@ class Controller:
         checkpoint: Optional[str] = None,
         resume: bool = False,
         obs: Optional[ObsConfig] = None,
+        cache_dir: Optional[str] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         """``sample_every`` > 1 executes a deterministic 1-in-N stratified
         subsample of the generated strategies (the full enumeration count is
@@ -131,6 +141,13 @@ class Controller:
         ``obs`` switches on campaign observability (JSONL event traces,
         the merged metrics registry, per-run profiling); see
         :class:`repro.obs.ObsConfig`.  Everything stays off when ``None``.
+
+        ``cache_dir`` points at a content-addressed run cache (see
+        :mod:`repro.core.cache`): every baseline/sweep/confirm run already
+        on disk is restored instead of simulated, and fresh clean runs are
+        persisted for the next campaign.  ``batch_size`` strategies share
+        one worker round-trip, and one worker pool is reused across all
+        stages.
         """
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
@@ -138,6 +155,8 @@ class Controller:
             raise ValueError("retries must be >= 0")
         if resume and not checkpoint:
             raise ValueError("resume requires a checkpoint path")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.config = config
         self.generation = generation if generation is not None else GenerationConfig()
         self.workers = workers
@@ -148,6 +167,8 @@ class Controller:
         self.checkpoint = checkpoint
         self.resume = resume
         self.obs = obs
+        self.cache_dir = cache_dir
+        self.batch_size = batch_size
         self.executor = Executor(config)
 
     # ------------------------------------------------------------------
@@ -166,23 +187,42 @@ class Controller:
         return StrategyGenerator("dccp", DCCP_FORMAT, dccp_state_machine(), generation)
 
     # ------------------------------------------------------------------
-    def run_baseline(self) -> Tuple[BaselineMetrics, List[RunResult]]:
+    def run_baseline(
+        self, cache: Optional[RunCache] = None
+    ) -> Tuple[BaselineMetrics, List[RunResult]]:
         runs: List[RunResult] = []
         for i, seed in enumerate(BASELINE_SEEDS):
-            with BUS.scope(stage="baseline", attempt=0, seed=seed):
-                with BUS.span("run"):
-                    run = self.executor.run(None, seed=seed)
-            run.run_id = f"baseline-none-a{i}"
+            fingerprint = run_fingerprint(self.config, None, seed) if cache is not None else None
+            run = cache.get(fingerprint) if cache is not None else None
+            if run is None:
+                with BUS.scope(stage="baseline", attempt=0, seed=seed):
+                    with BUS.span("run"):
+                        run = self.executor.run(None, seed=seed)
+                run.run_id = f"baseline-none-a{i}"
+                if cache is not None:
+                    cache.put(fingerprint, run)
             runs.append(run)
         return BaselineMetrics.from_runs(runs), runs
 
     # ------------------------------------------------------------------
+    def spec_fingerprint(self) -> str:
+        """Hash of the outcome-affecting campaign configuration.
+
+        Equals :meth:`repro.api.CampaignSpec.fingerprint` for the spec this
+        controller was built from; journaled so ``--resume`` can reject a
+        journal written under a different spec.
+        """
+        return campaign_fingerprint(
+            self.config, self.generation, self.sample_every, self.confirm, self.retries
+        )
+
     def _journal_meta(self) -> Dict[str, object]:
         return {
             "protocol": self.config.protocol,
             "variant": self.config.variant,
             "seed": self.config.seed,
             "sample_every": self.sample_every,
+            "spec_fingerprint": self.spec_fingerprint(),
         }
 
     def _run_stage(
@@ -193,6 +233,8 @@ class Controller:
         journal: Optional[CheckpointJournal],
         report: Callable[[str, int, int], None],
         seed: Optional[int] = None,
+        cache: Optional[RunCache] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> Tuple[List[RunOutcome], int]:
         """Run one stage, skipping journaled outcomes and journaling new ones.
 
@@ -210,12 +252,15 @@ class Controller:
             pending,
             workers=self.workers,
             seed=seed,
+            batch_size=self.batch_size,
             retries=self.retries,
             retry_backoff=self.retry_backoff,
             on_result=on_result,
             progress=lambda done, total: report(stage, done, total),
             obs=self.obs,
             stage=stage,
+            cache=cache,
+            pool=pool,
         )
         by_id = {s.strategy_id: outcome for s, outcome in zip(pending, fresh)}
         outcomes = [
@@ -244,10 +289,14 @@ class Controller:
                 log.info("resumed %d completed outcome(s) from %s",
                          len(completed), self.checkpoint)
             journal.open(self._journal_meta())
+        cache = RunCache(self.cache_dir) if self.cache_dir else None
         try:
             with BUS.span("campaign", protocol=self.config.protocol,
                           variant=self.config.variant):
-                return self._run_campaign(report, completed, journal)
+                # one pool shared by every stage (lazily forked on first
+                # parallel dispatch — a fully-cached campaign never forks)
+                with WorkerPool(workers=self.workers, obs=self.obs) as pool:
+                    return self._run_campaign(report, completed, journal, cache, pool)
         finally:
             if journal is not None:
                 journal.close()
@@ -279,8 +328,10 @@ class Controller:
         report: Callable[[str, int, int], None],
         completed: CompletedMap,
         journal: Optional[CheckpointJournal],
+        cache: Optional[RunCache] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> CampaignResult:
-        baseline, _ = self.run_baseline()
+        baseline, baseline_runs = self.run_baseline(cache)
         report("baseline", 1, 1)
 
         generator = self.make_generator()
@@ -288,12 +339,18 @@ class Controller:
         generated = len(strategies)
         if self.sample_every > 1:
             strategies = strategies[:: self.sample_every]
+        dedup = dedupe_strategies(strategies)
+        strategies = dedup.unique
+        if dedup.collapsed_count:
+            log.info("collapsed %d parameter-equivalent strategies", dedup.collapsed_count)
+            if METRICS.enabled:
+                METRICS.inc("generation.collapsed", dedup.collapsed_count)
         log.info("generated %d strategies, executing %d (%s/%s)",
                  generated, len(strategies), self.config.protocol, self.config.variant)
 
         detector = AttackDetector(baseline)
         outcomes, resumed = self._run_stage(
-            STAGE_SWEEP, strategies, completed, journal, report
+            STAGE_SWEEP, strategies, completed, journal, report, cache=cache, pool=pool
         )
         errors: List[RunError] = [o for o in outcomes if isinstance(o, RunError)]
         candidates: List[Tuple[Strategy, Detection]] = []
@@ -316,6 +373,8 @@ class Controller:
                 journal,
                 report,
                 seed=self.config.seed + CONFIRM_SEED_OFFSET,
+                cache=cache,
+                pool=pool,
             )
             resumed += confirm_resumed
             retries_performed += sum(o.attempts - 1 for o in confirm_outcomes)
@@ -336,6 +395,7 @@ class Controller:
         on_path, false_positives, true_strategies = partition(flagged)
         clusters = cluster_attacks(true_strategies)
 
+        cache_hits = sum(1 for r in (*baseline_runs, *all_runs) if r.cached)
         self._finish_profiles(all_runs, errors)
         metrics_snapshot = METRICS.snapshot() if METRICS.enabled else {}
         if BUS.enabled:
@@ -363,6 +423,8 @@ class Controller:
             timed_out_count=sum(1 for e in errors if e.timed_out),
             retries_performed=retries_performed,
             resumed_count=resumed,
+            cache_hits=cache_hits,
+            strategies_collapsed=dedup.collapsed_count,
             metrics=metrics_snapshot,
         )
 

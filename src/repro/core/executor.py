@@ -74,6 +74,21 @@ class TestbedConfig:
     def stop_time(self) -> float:
         return self.client_stop_at if self.protocol == "tcp" else self.dccp_client_stop_at
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dump (nested :class:`ChaosConfig` becomes a dict)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TestbedConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored for
+        forward compatibility with newer spec files."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        chaos = kwargs.get("chaos")
+        if isinstance(chaos, dict):
+            kwargs["chaos"] = ChaosConfig(**chaos)
+        return cls(**kwargs)
+
 
 # keep pytest from trying to collect the dataclass as a test class
 TestbedConfig.__test__ = False  # type: ignore[attr-defined]
@@ -118,6 +133,8 @@ class RunResult:
     run_id: str = ""
     #: real seconds this run took end to end (setup + simulate + collect)
     wall_seconds: float = 0.0
+    #: this result was restored from the run cache instead of simulated
+    cached: bool = False
 
     @property
     def invalid_response_rate(self) -> float:

@@ -12,6 +12,7 @@ connection, which the proxy cannot track.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -312,3 +313,49 @@ class StrategyGenerator:
             + self.inject_strategies()
             + self.hitseqwindow_strategies()
         )
+
+
+# ----------------------------------------------------------------------
+# parameter-equivalence deduplication
+# ----------------------------------------------------------------------
+@dataclass
+class DedupReport:
+    """What :func:`dedupe_strategies` collapsed before execution.
+
+    ``collapsed`` maps each removed strategy id to the id of the kept
+    representative with the same canonical form, so Table I accounting and
+    attack clustering can still name every enumerated strategy.
+    """
+
+    unique: List[Strategy]
+    collapsed: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def collapsed_count(self) -> int:
+        return len(self.collapsed)
+
+
+def dedupe_strategies(strategies: Sequence[Strategy]) -> DedupReport:
+    """Collapse parameter-equivalent strategies, keeping first occurrences.
+
+    The enumeration can emit behaviourally identical strategies under
+    different ids — e.g. ``hitseqwindow`` stride divisors that clamp to the
+    same stride for a small receive window, or user configs with repeated
+    parameter values.  Executing them separately wastes whole simulator
+    runs on answers we already have, so the controller runs only one
+    representative per :meth:`~repro.core.strategy.Strategy.canonical_form`
+    and records the collapse.  Order is preserved, so a deduplicated
+    campaign with no duplicates is byte-identical to an undeduplicated one.
+    """
+    seen: Dict[str, int] = {}
+    report = DedupReport(unique=[])
+    for strategy in strategies:
+        key = json.dumps(strategy.canonical_form(), sort_keys=True,
+                         separators=(",", ":"))
+        representative = seen.get(key)
+        if representative is None:
+            seen[key] = strategy.strategy_id
+            report.unique.append(strategy)
+        else:
+            report.collapsed[strategy.strategy_id] = representative
+    return report

@@ -8,6 +8,18 @@ Strategies and testbed configs are plain dataclasses, so they cross process
 boundaries the same way the paper's controller ships strategies to executor
 machines over TCP.
 
+Batched dispatch: work is shipped as :data:`WorkBatch` payloads — one
+shared (config, seed, retry policy, obs, stage) context plus a tuple of
+``batch_size`` strategy slots — so a worker round-trip amortizes pickling
+and IPC over N runs instead of paying it per strategy.  One persistent
+:class:`WorkerPool` is shared across the baseline/sweep/confirm stages of a
+campaign instead of forking a fresh pool per stage.
+
+Cache front-end: when a :class:`~repro.core.cache.RunCache` is supplied,
+every slot is fingerprinted in the parent and looked up *before* dispatch —
+a hit costs one file read and zero simulator executions, and fresh clean
+results are persisted as they arrive.
+
 Fault tolerance: a worker never lets an exception escape.  Every slot in the
 returned list holds either a :class:`~repro.core.executor.RunResult` or a
 structured :class:`~repro.core.executor.RunError` — crashes and watchdog
@@ -21,6 +33,8 @@ file per worker pid in the shared trace directory), wraps every attempt in
 a ``run`` span carrying (stage, strategy, attempt, seed), optionally
 profiles the attempt with cProfile, and ships its per-run metrics delta
 back alongside the outcome so the parent merges one campaign-wide registry.
+The parent additionally records ``cache.*`` counters and the
+``dispatch.batch_size`` histogram.
 """
 
 from __future__ import annotations
@@ -34,14 +48,18 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.cache import RunCache, run_fingerprint
 from repro.core.executor import Executor, RunError, RunOutcome, RunResult, TestbedConfig
 from repro.core.strategy import Strategy
 from repro.obs.bus import BUS
 from repro.obs.config import ObsConfig, configure_observability
-from repro.obs.metrics import METRICS
+from repro.obs.metrics import BATCH_BUCKETS, METRICS
 from repro.obs.profiling import profile_run
 
 log = logging.getLogger("repro.core.parallel")
+
+#: strategies shipped per worker round-trip by default
+DEFAULT_BATCH_SIZE = 8
 
 
 def derive_seed(base_seed: int, strategy_id: Optional[int], attempt: int) -> int:
@@ -72,13 +90,19 @@ class RetryPolicy:
         return self.backoff * (2 ** (attempt - 1))
 
 
-#: (config, strategy, seed, retry policy, obs config, stage) -> worker input
-WorkItem = Tuple[
-    TestbedConfig, Optional[Strategy], Optional[int], RetryPolicy, Optional[ObsConfig], str
+#: everything identical across one stage's runs, shipped once per batch
+BatchContext = Tuple[
+    TestbedConfig, Optional[int], RetryPolicy, Optional[ObsConfig], str
 ]
 
-#: what a worker hands back: the outcome plus its metrics delta (or None)
-WorkerReply = Tuple[RunOutcome, Optional[Dict[str, Any]]]
+#: one strategy slot inside a batch: (result index, strategy)
+BatchSlot = Tuple[int, Optional[Strategy]]
+
+#: one worker round-trip: shared context + the slots it executes serially
+WorkBatch = Tuple[BatchContext, Tuple[BatchSlot, ...]]
+
+#: per-slot worker reply: (index, outcome, metrics delta or None)
+SlotReply = Tuple[int, RunOutcome, Optional[Dict[str, Any]]]
 
 #: invoked in the parent as each slot finishes: (index, outcome)
 ResultHook = Callable[[int, RunOutcome], None]
@@ -106,9 +130,15 @@ def _worker_init(obs_cfg: Optional[ObsConfig]) -> None:
     METRICS.reset()
 
 
-def _execute_one(item: WorkItem) -> WorkerReply:
-    """Top-level worker function (must be picklable, must never raise)."""
-    config, strategy, seed, policy, obs_cfg, stage = item
+def _execute_single(
+    config: TestbedConfig,
+    strategy: Optional[Strategy],
+    seed: Optional[int],
+    policy: RetryPolicy,
+    obs_cfg: Optional[ObsConfig],
+    stage: str,
+) -> Tuple[RunOutcome, Optional[Dict[str, Any]]]:
+    """Run one strategy with retries; must never raise."""
     if obs_cfg is not None:
         # (re)configure this process; forked workers inherit the parent's
         # bus/registry, spawned workers start cold — both end up identical.
@@ -174,10 +204,70 @@ def _execute_one(item: WorkItem) -> WorkerReply:
     return outcome, delta
 
 
+def _execute_batch(batch: WorkBatch) -> List[SlotReply]:
+    """Top-level worker function: run one batch serially (picklable,
+    never raises)."""
+    (config, seed, policy, obs_cfg, stage), slots = batch
+    replies: List[SlotReply] = []
+    for index, strategy in slots:
+        outcome, delta = _execute_single(config, strategy, seed, policy, obs_cfg, stage)
+        replies.append((index, outcome, delta))
+    return replies
+
+
 def default_worker_count() -> int:
     """The paper ran one executor per six hyperthreads; simulator runs are
     pure CPU, so we default to cpu_count - 1 (min 1)."""
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+class WorkerPool:
+    """A lazily-created multiprocessing pool reused across campaign stages.
+
+    The controller opens one of these for a whole campaign so the
+    baseline/sweep/confirm stages share warm workers instead of paying
+    fork + initializer cost per stage.  The underlying pool is only forked
+    on first parallel dispatch — a fully-cached campaign never forks at
+    all — and :meth:`invalidate` discards a pool whose workers died so the
+    next dispatch starts fresh.
+    """
+
+    def __init__(self, workers: Optional[int] = None, obs: Optional[ObsConfig] = None):
+        self.workers = workers if workers is not None else default_worker_count()
+        self.obs = obs
+        self._pool: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    def _ensure(self) -> Any:
+        if self._pool is None:
+            context = multiprocessing.get_context("fork" if os.name == "posix" else "spawn")
+            self._pool = context.Pool(
+                processes=self.workers, initializer=_worker_init, initargs=(self.obs,)
+            )
+        return self._pool
+
+    def imap_unordered(self, func: Callable[..., Any], iterable: Sequence[Any]) -> Any:
+        """Dispatch pre-batched payloads (chunksize 1: batching is ours)."""
+        return self._ensure().imap_unordered(func, iterable, chunksize=1)
+
+    def invalidate(self) -> None:
+        """Tear down a broken pool; the next dispatch recreates it."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def run_strategies(
@@ -186,90 +276,129 @@ def run_strategies(
     workers: Optional[int] = None,
     seed: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
-    chunksize: int = 8,
+    batch_size: int = DEFAULT_BATCH_SIZE,
     retries: int = 0,
     retry_backoff: float = 0.0,
     on_result: Optional[ResultHook] = None,
     obs: Optional[ObsConfig] = None,
     stage: str = "sweep",
+    cache: Optional[RunCache] = None,
+    pool: Optional[WorkerPool] = None,
+    chunksize: Optional[int] = None,
 ) -> List[RunOutcome]:
-    """Run every strategy, in parallel when ``workers`` allows it.
+    """Run every strategy, in parallel when the pool allows it.
 
     Results come back in input order, one outcome per input slot: a
     :class:`RunResult` on success, a :class:`RunError` placeholder when the
     run crashed or timed out ``retries + 1`` times.  ``progress(done,
     total)`` and ``on_result(index, outcome)`` are invoked from the parent
-    as outcomes arrive — the latter is the checkpoint-journal hook.
+    as outcomes arrive — the latter is the checkpoint-journal hook, and it
+    fires for cache hits too so a journal stays self-contained.
+
+    ``batch_size`` strategies share one worker round-trip (``chunksize`` is
+    the accepted legacy spelling).  ``pool`` reuses a caller-owned
+    :class:`WorkerPool` across stages; without one a transient pool is
+    created and torn down here.  ``cache`` short-circuits any slot whose
+    fingerprint is already on disk and persists fresh clean results.
 
     ``obs`` switches on per-worker tracing/metrics/profiling; worker
     metrics deltas are merged into the parent's registry as they arrive, so
     after this returns the process-wide registry covers the whole stage.
     ``stage`` labels the trace records ("sweep" / "confirm" / ...).
     """
+    if chunksize is not None:
+        batch_size = chunksize
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     policy = RetryPolicy(retries=retries, backoff=retry_backoff)
-    items: List[WorkItem] = [
-        (config, strategy, seed, policy, obs, stage) for strategy in strategies
-    ]
-    total = len(items)
-    if workers is None:
-        workers = default_worker_count()
-    if workers <= 1 or total <= 1:
-        serial_results: List[RunOutcome] = []
-        for i, item in enumerate(items):
-            outcome, delta = _execute_one(item)
-            if delta is not None:
-                METRICS.merge(delta)
-            serial_results.append(outcome)
-            if on_result is not None:
-                on_result(i, outcome)
-            if progress is not None:
-                progress(i + 1, total)
-        return serial_results
-
-    context = multiprocessing.get_context("fork" if os.name == "posix" else "spawn")
-    log.info("running %d strategies on %d workers (stage=%s)", total, workers, stage)
+    total = len(strategies)
     results: List[Optional[RunOutcome]] = [None] * total
-    pool_error: Optional[BaseException] = None
+    done_count = 0
+
+    def finish(index: int, outcome: RunOutcome) -> None:
+        nonlocal done_count
+        results[index] = outcome
+        done_count += 1
+        if on_result is not None:
+            on_result(index, outcome)
+        if progress is not None:
+            progress(done_count, total)
+
+    # ------------------------------------------------------------- cache
+    fingerprints: List[Optional[str]] = [None] * total
+    pending: List[BatchSlot] = []
+    for i, strategy in enumerate(strategies):
+        if cache is not None:
+            fingerprint = run_fingerprint(config, strategy, seed)
+            fingerprints[i] = fingerprint
+            hit = cache.get(fingerprint)
+            if hit is not None:
+                # ids are enumeration-order artifacts; re-stamp the current one
+                hit.strategy_id = strategy.strategy_id if strategy is not None else None
+                finish(i, hit)
+                continue
+        pending.append((i, strategy))
+    if cache is not None and total:
+        log.info("cache: %d hit(s), %d pending of %d (stage=%s)",
+                 total - len(pending), len(pending), total, stage)
+
+    def absorb(reply: SlotReply) -> None:
+        index, outcome, delta = reply
+        if delta is not None:
+            METRICS.merge(delta)
+        if cache is not None and fingerprints[index] is not None:
+            cache.put(fingerprints[index], outcome)
+        finish(index, outcome)
+
+    # ------------------------------------------------------------ batches
+    context: BatchContext = (config, seed, policy, obs, stage)
+    batches: List[WorkBatch] = [
+        (context, tuple(pending[lo : lo + batch_size]))
+        for lo in range(0, len(pending), batch_size)
+    ]
+    if METRICS.enabled:
+        for _, slots in batches:
+            METRICS.inc("dispatch.batches")
+            METRICS.histogram("dispatch.batch_size", BATCH_BUCKETS).observe(len(slots))
+
+    owns_pool = pool is None
+    if pool is None:
+        pool = WorkerPool(workers=workers, obs=obs)
     try:
-        with context.Pool(
-            processes=workers, initializer=_worker_init, initargs=(obs,)
-        ) as pool:
-            for done, (index, (outcome, delta)) in enumerate(
-                pool.imap_unordered(
-                    _execute_indexed,
-                    [(i, item) for i, item in enumerate(items)],
-                    chunksize=chunksize,
+        if pool.workers <= 1 or len(pending) <= 1:
+            for batch in batches:
+                for reply in _execute_batch(batch):
+                    absorb(reply)
+            return results  # type: ignore[return-value]
+
+        log.info("running %d strategies on %d workers in %d batch(es) of <=%d (stage=%s)",
+                 len(pending), pool.workers, len(batches), batch_size, stage)
+        pool_error: Optional[BaseException] = None
+        try:
+            for replies in pool.imap_unordered(_execute_batch, batches):
+                for reply in replies:
+                    absorb(reply)
+        except Exception as exc:  # pool-level failure (e.g. a worker was killed)
+            pool_error = exc
+            log.warning("worker pool failed: %s", exc)
+            pool.invalidate()
+        # Never drop a slot: any slot the pool failed to fill becomes an
+        # in-slot error so downstream zip(strategies, results) stays aligned.
+        # These placeholders are deliberately NOT passed to ``on_result`` — they
+        # were never executed, so a resumed campaign should re-run them.
+        for i, slot in enumerate(results):
+            if slot is None:
+                strategy = strategies[i]
+                results[i] = RunError(
+                    strategy_id=strategy.strategy_id if strategy is not None else None,
+                    error_type="WorkerLost" if pool_error is None else type(pool_error).__name__,
+                    message=(
+                        "worker pool returned no result for this strategy"
+                        if pool_error is None
+                        else f"worker pool failed: {pool_error}"
+                    ),
                 )
-            ):
-                if delta is not None:
-                    METRICS.merge(delta)
-                results[index] = outcome
-                if on_result is not None:
-                    on_result(index, outcome)
-                if progress is not None:
-                    progress(done + 1, total)
-    except Exception as exc:  # pool-level failure (e.g. a worker was killed)
-        pool_error = exc
-        log.warning("worker pool failed: %s", exc)
-    # Never drop a slot: any slot the pool failed to fill becomes an
-    # in-slot error so downstream zip(strategies, results) stays aligned.
-    # These placeholders are deliberately NOT passed to ``on_result`` — they
-    # were never executed, so a resumed campaign should re-run them.
-    for i, slot in enumerate(results):
-        if slot is None:
-            strategy = strategies[i]
-            results[i] = RunError(
-                strategy_id=strategy.strategy_id if strategy is not None else None,
-                error_type="WorkerLost" if pool_error is None else type(pool_error).__name__,
-                message=(
-                    "worker pool returned no result for this strategy"
-                    if pool_error is None
-                    else f"worker pool failed: {pool_error}"
-                ),
-            )
-    return results  # type: ignore[return-value]
-
-
-def _execute_indexed(indexed: Tuple[int, WorkItem]) -> Tuple[int, WorkerReply]:
-    index, item = indexed
-    return index, _execute_one(item)
+        return results  # type: ignore[return-value]
+    finally:
+        if owns_pool:
+            pool.close()

@@ -114,10 +114,11 @@ def render_campaign_health(result: CampaignResult) -> str:
     visible without digging through the checkpoint journal.
     """
     health = result.health_row()
-    headers = ("Errors", "Timed Out", "Retries", "Resumed")
+    headers = ("Errors", "Timed Out", "Retries", "Resumed", "Cache Hits", "Collapsed")
     table = _render_table(
         headers,
-        [[health["errors"], health["timed_out"], health["retries"], health["resumed"]]],
+        [[health["errors"], health["timed_out"], health["retries"],
+          health["resumed"], health["cache_hits"], health["collapsed"]]],
     )
     lines = [table]
     for error in result.errors:

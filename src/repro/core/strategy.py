@@ -19,6 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+def _jsonable(value: Any) -> Any:
+    """Recursively normalize to JSON-representable types (tuples -> lists)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
 KIND_PACKET = "packet"
 KIND_INJECT = "inject"
 KIND_HITSEQWINDOW = "hitseqwindow"
@@ -51,6 +60,25 @@ class Strategy:
     @property
     def is_offpath(self) -> bool:
         return self.kind in (KIND_INJECT, KIND_HITSEQWINDOW)
+
+    def canonical_form(self) -> Dict[str, Any]:
+        """Identity of the *behaviour*, independent of ``strategy_id``.
+
+        Two strategies with equal canonical forms install identical proxy
+        rules/campaigns and therefore produce identical runs for a given
+        (config, seed).  This is the deduplication key and one third of the
+        run-cache fingerprint; enumeration order (which assigns ids) never
+        leaks into it.  Tuples inside ``params`` (e.g. triggers) normalize
+        to lists so the form is JSON-stable.
+        """
+        return {
+            "protocol": self.protocol,
+            "kind": self.kind,
+            "state": self.state,
+            "packet_type": self.packet_type,
+            "action": self.action,
+            "params": _jsonable(self.params),
+        }
 
     def describe(self) -> str:
         if self.kind == KIND_PACKET:
