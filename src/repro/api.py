@@ -29,9 +29,11 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.core.cache import campaign_fingerprint
 from repro.core.controller import CampaignResult, Controller
+from repro.core.detector import ConfirmationPolicy
 from repro.core.executor import TestbedConfig
 from repro.core.generation import GenerationConfig
 from repro.core.parallel import DEFAULT_BATCH_SIZE, RetryPolicy
+from repro.core.supervisor import SupervisionConfig
 from repro.obs.config import ObsConfig
 
 #: bump on incompatible spec-dict changes; ``from_dict`` rejects unknown majors
@@ -67,8 +69,11 @@ class CampaignSpec:
     Field groups mirror the subsystems they configure: ``testbed`` is the
     executor's world, ``generation`` the strategy enumeration (``None`` =
     protocol defaults), ``retry`` the fault-tolerance policy, ``cache_dir``
-    / ``batch_size`` the execution engine, ``checkpoint`` / ``resume`` the
-    journal, and ``obs`` the telemetry (``None`` = everything off).
+    / ``batch_size`` the execution engine, ``supervision`` the hang-proof
+    worker pool (enabled by default; disable to fall back to the plain
+    pool), ``confirmation`` the baseline replication + noise-band verdict
+    policy, ``checkpoint`` / ``resume`` the journal, and ``obs`` the
+    telemetry (``None`` = everything off).
     """
 
     testbed: TestbedConfig = field(default_factory=TestbedConfig)
@@ -82,6 +87,8 @@ class CampaignSpec:
     cache_dir: Optional[str] = None
     batch_size: int = DEFAULT_BATCH_SIZE
     obs: Optional[ObsConfig] = None
+    supervision: SupervisionConfig = field(default_factory=SupervisionConfig)
+    confirmation: ConfirmationPolicy = field(default_factory=ConfirmationPolicy)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -99,6 +106,8 @@ class CampaignSpec:
             "cache_dir": self.cache_dir,
             "batch_size": self.batch_size,
             "obs": None if self.obs is None else asdict(self.obs),
+            "supervision": asdict(self.supervision),
+            "confirmation": asdict(self.confirmation),
         }
 
     @classmethod
@@ -129,6 +138,12 @@ class CampaignSpec:
             cache_dir=data.get("cache_dir"),
             batch_size=data.get("batch_size", DEFAULT_BATCH_SIZE),
             obs=None if obs is None else ObsConfig(**_from_known(ObsConfig, obs)),
+            supervision=SupervisionConfig(
+                **_from_known(SupervisionConfig, data.get("supervision") or {})
+            ),
+            confirmation=ConfirmationPolicy(
+                **_from_known(ConfirmationPolicy, data.get("confirmation") or {})
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -136,14 +151,17 @@ class CampaignSpec:
         """Hash of the outcome-affecting slice of this spec.
 
         Two specs with equal fingerprints compute the same campaign:
-        workers, batch size, cache/checkpoint paths and observability are
-        excluded because they change how a campaign runs, not what it
-        finds.  Stored in the checkpoint-journal header so ``resume``
-        refuses a journal written under a different spec.
+        workers, batch size, cache/checkpoint paths, supervision and
+        observability are excluded because they change how a campaign
+        runs, not what it finds; the confirmation policy *is* included
+        because baseline replicas and the noise band change which
+        strategies count as attacks.  Stored in the checkpoint-journal
+        header so ``resume`` refuses a journal written under a different
+        spec.
         """
         return campaign_fingerprint(
             self.testbed, self.generation, self.sample_every, self.confirm,
-            self.retry.retries,
+            self.retry.retries, confirmation=self.confirmation,
         )
 
     def with_overrides(self, **changes: Any) -> "CampaignSpec":
@@ -166,6 +184,8 @@ class CampaignSpec:
             obs=self.obs,
             cache_dir=self.cache_dir,
             batch_size=self.batch_size,
+            supervision=self.supervision,
+            confirmation=self.confirmation,
         )
 
 
@@ -208,6 +228,8 @@ def spec_from_kwargs(config: TestbedConfig, **kwargs: Any) -> CampaignSpec:
         cache_dir=kwargs.pop("cache_dir", None),
         batch_size=kwargs.pop("batch_size", DEFAULT_BATCH_SIZE),
         obs=kwargs.pop("obs", None),
+        supervision=kwargs.pop("supervision", SupervisionConfig()),
+        confirmation=kwargs.pop("confirmation", ConfirmationPolicy()),
     )
     if kwargs:
         raise TypeError(f"unknown campaign keyword(s): {sorted(kwargs)}")

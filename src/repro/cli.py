@@ -24,9 +24,11 @@ from typing import List, Optional
 
 from repro.api import CampaignSpec, run_campaign
 from repro.core import (
+    ConfirmationPolicy,
     Executor,
     JournalMismatch,
     RetryPolicy,
+    SupervisionConfig,
     TestbedConfig,
     compare_injection_models,
 )
@@ -34,23 +36,30 @@ from repro.core.generation import StrategyGenerator
 from repro.core.reporting import (
     render_attack_clusters,
     render_campaign_health,
+    render_flaky_detections,
     render_metrics_summary,
     render_searchspace,
     render_slowest_runs,
     render_strategy_timeline,
+    render_supervision_report,
     render_table1,
     render_throughput_summary,
     render_transition_log,
+    render_verdicts,
 )
 from repro.dccpstack.variants import DCCP_VARIANTS
 from repro.obs import ObsConfig
 from repro.obs.store import (
+    baseline_stats,
+    confirm_verdicts,
     has_baseline,
     load_metrics_snapshot,
     load_trace_dir,
+    quarantine_events,
     run_spans,
     strategy_ids,
     strategy_timeline,
+    supervisor_kills,
     transition_events,
 )
 from repro.packets.dccp import DCCP_FORMAT
@@ -72,6 +81,50 @@ def _configure_logging(args: argparse.Namespace) -> None:
         format="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
         datefmt="%H:%M:%S",
     )
+
+
+def _nonnegative_int(value: str) -> int:
+    """Argparse type: an int >= 0 (``--retries``)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer")
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type: an int >= 1 (``--batch-size``, ``--workers``, ...)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _positive_float(value: str) -> float:
+    """Argparse type: a float > 0 (``--run-budget``, ``--slot-budget``)."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not a number")
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {parsed}")
+    return parsed
+
+
+def _nonnegative_float(value: str) -> float:
+    """Argparse type: a float >= 0 (``--retry-backoff``, ``--noise-sigmas``)."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not a number")
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {parsed}")
+    return parsed
 
 
 def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
@@ -151,6 +204,16 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
             cache_dir=args.cache_dir,
             batch_size=args.batch_size,
             obs=_obs_from_args(args),
+            supervision=SupervisionConfig(
+                enabled=not args.no_supervision,
+                slot_budget=args.slot_budget,
+                max_tasks_per_child=args.max_tasks_per_child,
+                quarantine_after=args.quarantine_after,
+            ),
+            confirmation=ConfirmationPolicy(
+                baseline_runs=args.baseline_runs,
+                noise_sigmas=args.noise_sigmas,
+            ),
         )
     if args.no_cache:
         spec = spec.with_overrides(cache_dir=None)
@@ -191,6 +254,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     print(render_attack_clusters(result))
     print()
     print(render_campaign_health(result))
+    if result.flaky:
+        print()
+        print("Flaky detections (did not reproduce in the confirm stage)")
+        print(render_flaky_detections(result))
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             json.dump(result.metrics, fh, indent=2, sort_keys=True)
@@ -252,6 +319,19 @@ def cmd_report(args: argparse.Namespace) -> int:
     print("State-transition audit log")
     print(render_transition_log(transitions, args.transitions))
 
+    kills = supervisor_kills(events)
+    quarantines = quarantine_events(events)
+    if kills or quarantines:
+        print()
+        print("Supervision")
+        print(render_supervision_report(kills, quarantines))
+
+    verdicts = confirm_verdicts(events)
+    if verdicts:
+        print()
+        print("Confirm verdicts")
+        print(render_verdicts(verdicts, baseline_stats(events)))
+
     if snapshot:
         print()
         print(render_metrics_summary(snapshot))
@@ -288,17 +368,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub = subparsers.add_parser("campaign", help="run a full attack-finding campaign")
     _add_target_arguments(sub)
-    sub.add_argument("--sample-every", type=int, default=25,
+    sub.add_argument("--sample-every", type=_positive_int, default=25,
                      help="execute 1 in N strategies (1 = full sweep)")
-    sub.add_argument("--workers", type=int, default=1)
-    sub.add_argument("--retries", type=int, default=1,
+    sub.add_argument("--workers", type=_positive_int, default=1)
+    sub.add_argument("--retries", type=_nonnegative_int, default=1,
                      help="retries (with derived seeds) before a failed/"
                           "timed-out run is classified as an error")
-    sub.add_argument("--retry-backoff", type=float, default=0.0,
+    sub.add_argument("--retry-backoff", type=_nonnegative_float, default=0.0,
                      help="base seconds slept before a retry, doubled per attempt")
-    sub.add_argument("--run-budget", type=float, default=None,
+    sub.add_argument("--run-budget", type=_positive_float, default=None,
                      help="wall-clock watchdog: real seconds allowed per simulation run")
-    sub.add_argument("--max-events", type=int, default=None,
+    sub.add_argument("--max-events", type=_positive_int, default=None,
                      help="event watchdog: simulator events allowed per run")
     sub.add_argument("--checkpoint", metavar="JOURNAL", default=None,
                      help="journal completed runs to this JSONL file as they finish")
@@ -311,8 +391,26 @@ def build_parser() -> argparse.ArgumentParser:
                           "on disk instead of simulating it, persist fresh runs")
     sub.add_argument("--no-cache", action="store_true",
                      help="ignore any cache directory (including one from --spec)")
-    sub.add_argument("--batch-size", type=int, default=8,
+    sub.add_argument("--batch-size", type=_positive_int, default=8,
                      help="strategies dispatched per worker round-trip")
+    sub.add_argument("--no-supervision", action="store_true",
+                     help="run under the plain worker pool instead of the "
+                          "supervised (hang-proof) one")
+    sub.add_argument("--slot-budget", type=_positive_float, default=None,
+                     help="supervisor deadline: wall seconds a worker may spend "
+                          "on one strategy before it is killed and respawned "
+                          "(default: derived from --run-budget)")
+    sub.add_argument("--quarantine-after", type=_positive_int, default=3,
+                     help="worker kills/deaths a strategy may cause before it "
+                          "is quarantined")
+    sub.add_argument("--max-tasks-per-child", type=_positive_int, default=None,
+                     help="recycle each worker after this many strategies")
+    sub.add_argument("--baseline-runs", type=_positive_int, default=2,
+                     help="no-attack baseline replicas (>= 2 gives the detector "
+                          "a noise estimate)")
+    sub.add_argument("--noise-sigmas", type=_nonnegative_float, default=3.0,
+                     help="detections must clear this many baseline standard "
+                          "deviations (0 disables the noise band)")
     sub.add_argument("--spec", metavar="JSON", default=None,
                      help="load the whole campaign from a spec file (see --spec-out); "
                           "overrides the per-field flags")

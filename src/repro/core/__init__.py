@@ -21,6 +21,9 @@
 * :mod:`repro.core.parallel` — batched multiprocessing strategy execution
   (the paper's parallel executors) with one pool per campaign, per-run
   crash isolation and deterministic retry.
+* :mod:`repro.core.supervisor` — the hang-proof worker pool: parent-side
+  deadlines, SIGKILL + respawn of wedged workers, slot re-dispatch, and
+  poison-strategy quarantine.
 * :mod:`repro.core.cache` — the content-addressed run cache: fingerprints
   of (strategy behaviour, config, seed) mapped to persisted results so
   repeated campaigns skip simulations already executed.
@@ -37,8 +40,16 @@ from repro.core.generation import GenerationConfig, StrategyGenerator, dedupe_st
 from repro.core.executor import Executor, RunError, RunResult, TestbedConfig
 from repro.core.cache import RunCache, campaign_fingerprint, run_fingerprint
 from repro.core.parallel import RetryPolicy, WorkerPool
+from repro.core.supervisor import SupervisedWorkerPool, SupervisionConfig
 from repro.core.checkpoint import CheckpointJournal, JournalMismatch
-from repro.core.detector import AttackDetector, BaselineMetrics, Detection
+from repro.core.detector import (
+    VERDICT_CONFIRMED,
+    VERDICT_FLAKY,
+    AttackDetector,
+    BaselineMetrics,
+    ConfirmationPolicy,
+    Detection,
+)
 from repro.core.classify import CLASS_FALSE_POSITIVE, CLASS_ON_PATH, CLASS_TRUE, classify
 from repro.core.attacks_catalog import KNOWN_ATTACKS, match_known_attack
 from repro.core.controller import CampaignResult, Controller
@@ -56,6 +67,8 @@ __all__ = [
     "RunCache",
     "RetryPolicy",
     "WorkerPool",
+    "SupervisedWorkerPool",
+    "SupervisionConfig",
     "campaign_fingerprint",
     "run_fingerprint",
     "dedupe_strategies",
@@ -63,7 +76,10 @@ __all__ = [
     "JournalMismatch",
     "AttackDetector",
     "BaselineMetrics",
+    "ConfirmationPolicy",
     "Detection",
+    "VERDICT_CONFIRMED",
+    "VERDICT_FLAKY",
     "classify",
     "CLASS_ON_PATH",
     "CLASS_FALSE_POSITIVE",

@@ -84,23 +84,31 @@ def campaign_fingerprint(
     sample_every: int,
     confirm: bool,
     retries: int,
+    confirmation: Optional[Any] = None,
 ) -> str:
     """Identity of a campaign's *outcome-affecting* configuration.
 
-    Workers, batch size, checkpoint paths and observability change how a
-    campaign runs, not what it computes, so they are excluded — a journal
-    written with 1 worker resumes cleanly under 8.
+    Workers, batch size, checkpoint paths, supervision and observability
+    change how a campaign runs, not what it computes, so they are
+    excluded — a journal written with 1 worker resumes cleanly under 8.
+    ``confirmation`` (a :class:`~repro.core.detector.ConfirmationPolicy`)
+    *is* outcome-affecting — baseline replicas and the noise band decide
+    which strategies count as attacks — but ``None`` (the pre-policy
+    default) is excluded entirely so historical fingerprints are stable.
     """
     from dataclasses import asdict
 
-    return _digest({
+    payload = {
         "v": CACHE_VERSION,
         "config": config.to_dict(),
         "generation": asdict(generation if generation is not None else GenerationConfig()),
         "sample_every": sample_every,
         "confirm": confirm,
         "retries": retries,
-    })
+    }
+    if confirmation is not None:
+        payload["confirmation"] = asdict(confirmation)
+    return _digest(payload)
 
 
 class RunCache:

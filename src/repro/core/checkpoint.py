@@ -14,7 +14,13 @@ line is one outcome::
     {"stage": "sweep", "kind": "error",  "outcome": {...RunError fields...}}
     {"stage": "confirm", "kind": "result", "outcome": {...}}
 
-Lines that fail to parse (a half-written tail after a hard kill) are
+Durability: every :meth:`CheckpointJournal.record` commits the whole
+journal through a temp file + fsync + ``os.replace`` (plus a best-effort
+directory fsync), so a SIGKILL mid-write leaves either the previous
+complete journal or the new complete journal on disk — never a truncated
+tail.  Journals are one short line per strategy, so the whole-file
+rewrite stays cheap at campaign scale.  Lines that fail to parse anyway
+(journals written by older versions, or hand-edited files) are still
 ignored on load; the affected strategies simply re-run.  Resuming against
 a journal whose header does not match the current campaign raises
 :class:`JournalMismatch` instead of silently mixing incompatible results.
@@ -24,7 +30,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, TextIO, Tuple
+import tempfile
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.executor import RunError, RunOutcome, RunResult
 
@@ -62,7 +69,7 @@ class CheckpointJournal:
 
     def __init__(self, path: str):
         self.path = path
-        self._fh: Optional[TextIO] = None
+        self._lines: Optional[List[str]] = None
 
     # ------------------------------------------------------------------
     def load(self, expected_meta: Optional[Dict[str, object]] = None) -> CompletedMap:
@@ -119,31 +126,61 @@ class CheckpointJournal:
     # ------------------------------------------------------------------
     def open(self, meta: Optional[Dict[str, object]] = None) -> "CheckpointJournal":
         """Open for appending; write the header if the file is new/empty."""
-        is_new = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
-        self._fh = open(self.path, "a", encoding="utf-8")
-        if is_new:
+        lines: List[str] = []
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = [line.rstrip("\n") for line in fh if line.strip()]
+        self._lines = lines
+        if not lines:
             header = {"version": JOURNAL_VERSION}
             header.update(meta or {})
             self._write_line(header)
         return self
 
     def record(self, stage: str, outcome: RunOutcome) -> None:
-        """Append one outcome and force it to disk (crash safety)."""
-        if self._fh is None:
+        """Append one outcome and atomically commit it (crash safety)."""
+        if self._lines is None:
             raise RuntimeError("journal is not open")
         self._write_line(encode_outcome(stage, outcome))
 
     def _write_line(self, record: Dict[str, object]) -> None:
-        assert self._fh is not None
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        assert self._lines is not None
+        self._lines.append(json.dumps(record, sort_keys=True))
+        self._commit()
+
+    def _commit(self) -> None:
+        """Atomically replace the journal: tmp file + fsync + os.replace.
+
+        A SIGKILL at any point leaves either the old or the new complete
+        file — a plain append could be cut mid-line and truncate the tail.
+        """
+        assert self._lines is not None
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".journal-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(self._lines) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        try:  # make the rename itself durable where the platform allows
+            dir_fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
 
     def close(self) -> None:
-        """Close the underlying file; safe to call when never opened."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        """Stop accepting records; safe to call when never opened."""
+        self._lines = None
 
     def __enter__(self) -> "CheckpointJournal":
         return self

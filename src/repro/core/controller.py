@@ -25,11 +25,18 @@ from repro.core.attacks_catalog import cluster_attacks
 from repro.core.cache import RunCache, campaign_fingerprint, run_fingerprint
 from repro.core.checkpoint import CheckpointJournal, CompletedMap
 from repro.core.classify import partition
-from repro.core.detector import AttackDetector, BaselineMetrics, Detection
+from repro.core.detector import (
+    VERDICT_FLAKY,
+    AttackDetector,
+    BaselineMetrics,
+    ConfirmationPolicy,
+    Detection,
+)
 from repro.core.executor import Executor, RunError, RunOutcome, RunResult, TestbedConfig
 from repro.core.generation import GenerationConfig, StrategyGenerator, dedupe_strategies
-from repro.core.parallel import DEFAULT_BATCH_SIZE, WorkerPool, run_strategies
+from repro.core.parallel import DEFAULT_BATCH_SIZE, WorkerPool, derive_seed, run_strategies
 from repro.core.strategy import Strategy
+from repro.core.supervisor import KIND_QUARANTINED, SupervisedWorkerPool, SupervisionConfig
 from repro.obs.bus import BUS
 from repro.obs.config import ObsConfig, configure_observability
 from repro.obs.metrics import METRICS
@@ -76,6 +83,17 @@ class CampaignResult:
     cache_hits: int = 0
     #: parameter-equivalent strategies collapsed before execution
     strategies_collapsed: int = 0
+    #: sweep detections whose confirm run reproduced nothing — kept out of
+    #: ``flagged`` but preserved with their evidence for the report
+    flaky: List[Tuple[Strategy, Detection]] = field(default_factory=list)
+    #: strategies parked by the supervisor after repeatedly killing/hanging
+    #: their worker (their ``RunError(kind="quarantined")`` also sits in
+    #: ``errors``)
+    quarantined_count: int = 0
+    #: supervisor lifetime counters (kills/respawns/quarantines/...) when
+    #: the campaign ran under a :class:`SupervisedWorkerPool`; empty dict
+    #: under the plain pool
+    supervisor: Dict[str, int] = field(default_factory=dict)
     #: merged metrics snapshot (parent + all workers) when the campaign ran
     #: with metrics enabled; empty otherwise.  The payload written by
     #: ``repro campaign --metrics-out``.
@@ -106,6 +124,8 @@ class CampaignResult:
             "resumed": self.resumed_count,
             "cache_hits": self.cache_hits,
             "collapsed": self.strategies_collapsed,
+            "quarantined": self.quarantined_count,
+            "flaky": len(self.flaky),
         }
 
 
@@ -126,6 +146,8 @@ class Controller:
         obs: Optional[ObsConfig] = None,
         cache_dir: Optional[str] = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        supervision: Optional[SupervisionConfig] = None,
+        confirmation: Optional[ConfirmationPolicy] = None,
     ):
         """``sample_every`` > 1 executes a deterministic 1-in-N stratified
         subsample of the generated strategies (the full enumeration count is
@@ -148,6 +170,14 @@ class Controller:
         persisted for the next campaign.  ``batch_size`` strategies share
         one worker round-trip, and one worker pool is reused across all
         stages.
+
+        ``supervision`` (enabled) runs the stages under a
+        :class:`~repro.core.supervisor.SupervisedWorkerPool` — parent-side
+        deadlines, kill + respawn of wedged workers, and poison-strategy
+        quarantine; ``None`` or a disabled config keeps the plain pool.
+        ``confirmation`` replicates the baseline ``baseline_runs`` times
+        and arms the detector's ``noise_sigmas`` band; ``None`` preserves
+        the historical two fixed baseline seeds with no noise band.
         """
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
@@ -169,6 +199,8 @@ class Controller:
         self.obs = obs
         self.cache_dir = cache_dir
         self.batch_size = batch_size
+        self.supervision = supervision
+        self.confirmation = confirmation
         self.executor = Executor(config)
 
     # ------------------------------------------------------------------
@@ -187,11 +219,27 @@ class Controller:
         return StrategyGenerator("dccp", DCCP_FORMAT, dccp_state_machine(), generation)
 
     # ------------------------------------------------------------------
+    def baseline_seeds(self) -> Tuple[int, ...]:
+        """Seeds for the no-attack replicas (historical pair first).
+
+        A ``confirmation`` policy asking for more than two replicas extends
+        the fixed pair with deterministically derived seeds, so existing
+        run-cache entries for the pair stay valid.
+        """
+        wanted = (
+            self.confirmation.baseline_runs if self.confirmation is not None
+            else len(BASELINE_SEEDS)
+        )
+        seeds = list(BASELINE_SEEDS[:wanted])
+        for extra in range(1, wanted - len(seeds) + 1):
+            seeds.append(derive_seed(BASELINE_SEEDS[-1], None, extra))
+        return tuple(seeds)
+
     def run_baseline(
         self, cache: Optional[RunCache] = None
     ) -> Tuple[BaselineMetrics, List[RunResult]]:
         runs: List[RunResult] = []
-        for i, seed in enumerate(BASELINE_SEEDS):
+        for i, seed in enumerate(self.baseline_seeds()):
             fingerprint = run_fingerprint(self.config, None, seed) if cache is not None else None
             run = cache.get(fingerprint) if cache is not None else None
             if run is None:
@@ -213,7 +261,8 @@ class Controller:
         journal written under a different spec.
         """
         return campaign_fingerprint(
-            self.config, self.generation, self.sample_every, self.confirm, self.retries
+            self.config, self.generation, self.sample_every, self.confirm, self.retries,
+            confirmation=self.confirmation,
         )
 
     def _journal_meta(self) -> Dict[str, object]:
@@ -234,7 +283,7 @@ class Controller:
         report: Callable[[str, int, int], None],
         seed: Optional[int] = None,
         cache: Optional[RunCache] = None,
-        pool: Optional[WorkerPool] = None,
+        pool: Optional["WorkerPool"] = None,
     ) -> Tuple[List[RunOutcome], int]:
         """Run one stage, skipping journaled outcomes and journaling new ones.
 
@@ -293,13 +342,21 @@ class Controller:
         try:
             with BUS.span("campaign", protocol=self.config.protocol,
                           variant=self.config.variant):
-                # one pool shared by every stage (lazily forked on first
-                # parallel dispatch — a fully-cached campaign never forks)
-                with WorkerPool(workers=self.workers, obs=self.obs) as pool:
+                # one pool shared by every stage (lazily spawned on first
+                # dispatch with real work — a fully-cached campaign never
+                # forks); supervision swaps in the hang-proof pool
+                with self._make_pool() as pool:
                     return self._run_campaign(report, completed, journal, cache, pool)
         finally:
             if journal is not None:
                 journal.close()
+
+    def _make_pool(self) -> Any:
+        if self.supervision is not None and self.supervision.enabled:
+            return SupervisedWorkerPool(
+                workers=self.workers, obs=self.obs, supervision=self.supervision
+            )
+        return WorkerPool(workers=self.workers, obs=self.obs)
 
     def _evaluate(
         self, detector: AttackDetector, strategy: Strategy, run: RunResult, stage: str
@@ -329,7 +386,7 @@ class Controller:
         completed: CompletedMap,
         journal: Optional[CheckpointJournal],
         cache: Optional[RunCache] = None,
-        pool: Optional[WorkerPool] = None,
+        pool: Optional["WorkerPool"] = None,
     ) -> CampaignResult:
         baseline, baseline_runs = self.run_baseline(cache)
         report("baseline", 1, 1)
@@ -348,7 +405,20 @@ class Controller:
         log.info("generated %d strategies, executing %d (%s/%s)",
                  generated, len(strategies), self.config.protocol, self.config.variant)
 
-        detector = AttackDetector(baseline)
+        noise_sigmas = self.confirmation.noise_sigmas if self.confirmation is not None else 0.0
+        detector = AttackDetector(baseline, noise_sigmas=noise_sigmas)
+        if BUS.enabled:
+            # the noise band every detection had to clear, for `repro report`
+            BUS.emit(
+                "detector.baseline",
+                runs=baseline.runs,
+                noise_sigmas=noise_sigmas,
+                target_bytes=round(baseline.target_bytes, 2),
+                target_bytes_std=round(baseline.target_bytes_std, 2),
+                competing_bytes=round(baseline.competing_bytes, 2),
+                competing_bytes_std=round(baseline.competing_bytes_std, 2),
+                lingering_std=round(baseline.lingering_std, 4),
+            )
         outcomes, resumed = self._run_stage(
             STAGE_SWEEP, strategies, completed, journal, report, cache=cache, pool=pool
         )
@@ -363,6 +433,7 @@ class Controller:
         log.info("sweep flagged %d candidate(s), %d error(s)", len(candidates), len(errors))
 
         flagged: List[Tuple[Strategy, Detection]] = []
+        flaky: List[Tuple[Strategy, Detection]] = []
         retries_performed = sum(o.attempts - 1 for o in outcomes)
         all_runs: List[RunResult] = [o for o in outcomes if isinstance(o, RunResult)]
         if self.confirm and candidates:
@@ -387,8 +458,24 @@ class Controller:
                     continue
                 second = self._evaluate(detector, strategy, rerun, STAGE_CONFIRM)
                 confirmed = detector.confirm(first, second)
+                if METRICS.enabled:
+                    METRICS.inc(f"detector.{confirmed.verdict}")
+                if BUS.enabled:
+                    BUS.emit(
+                        "detector.confirm",
+                        strategy_id=strategy.strategy_id,
+                        verdict=confirmed.verdict,
+                        effects=list(confirmed.effects),
+                        unconfirmed=list(confirmed.unconfirmed_effects),
+                        sweep_target_ratio=round(confirmed.sweep_target_ratio, 4),
+                        confirm_target_ratio=round(confirmed.confirm_target_ratio, 4),
+                    )
                 if confirmed.is_attack:
                     flagged.append((strategy, confirmed))
+                elif confirmed.verdict == VERDICT_FLAKY:
+                    flaky.append((strategy, confirmed))
+            if flaky:
+                log.info("%d detection(s) failed to reproduce (flaky)", len(flaky))
         else:
             flagged = candidates
 
@@ -425,6 +512,20 @@ class Controller:
             resumed_count=resumed,
             cache_hits=cache_hits,
             strategies_collapsed=dedup.collapsed_count,
+            flaky=flaky,
+            quarantined_count=sum(1 for e in errors if e.kind == KIND_QUARANTINED),
+            supervisor=(
+                {
+                    "kills": pool.kills,
+                    "worker_lost": pool.worker_lost,
+                    "respawns": pool.respawns,
+                    "recycled": pool.recycled,
+                    "redispatched": pool.redispatched,
+                    "quarantines": pool.quarantines,
+                }
+                if isinstance(pool, SupervisedWorkerPool)
+                else {}
+            ),
             metrics=metrics_snapshot,
         )
 

@@ -7,10 +7,25 @@ the connection is closed."
 
 The detector compares one run's metrics against baseline metrics from
 non-attack runs and emits a :class:`Detection` listing which effects fired.
+
+Noise awareness: replicated baselines yield a mean *and* a standard
+deviation per metric, and a throughput/lingering effect only fires when
+the observed delta also clears ``noise_sigmas`` standard deviations of
+baseline noise — a simulator whose no-attack runs already wobble by 40%
+cannot mint ±50% "attacks" out of seed jitter.  With a single baseline
+run (or identical replicas) every stddev is zero and the detector behaves
+exactly as before.
+
+Verdict lifecycle: the sweep stage emits unlabelled detections; the
+confirm stage re-runs each flagged strategy and labels the result
+``confirmed`` (every kept effect reproduced) or ``flaky`` (nothing
+reproduced), keeping the evidence — both stages' ratios and the effects
+that failed to reproduce — for ``repro report``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -35,16 +50,64 @@ ALL_EFFECTS = (
     EFFECT_INVALID_FLAG_RESPONSE,
 )
 
+# confirm-stage verdict labels
+VERDICT_CONFIRMED = "confirmed"
+VERDICT_FLAKY = "flaky"
+
+
+def _pstdev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two samples)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean = sum(values) / n
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / n)
+
+
+@dataclass(frozen=True)
+class ConfirmationPolicy:
+    """How baselines are replicated and detections gain confidence.
+
+    Part of the campaign fingerprint: changing the replica count or the
+    noise band changes which strategies count as attacks, so cached
+    journals/caches keyed on the old policy must not satisfy the new one.
+    """
+
+    #: independent no-attack runs averaged into the baseline (>= 2 gives
+    #: the detector a per-metric noise estimate)
+    baseline_runs: int = 2
+    #: throughput/lingering deltas must exceed this many baseline standard
+    #: deviations before an effect fires (0 disables the noise band)
+    noise_sigmas: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.baseline_runs < 1:
+            raise ValueError("baseline_runs must be >= 1")
+        if self.noise_sigmas < 0:
+            raise ValueError("noise_sigmas must be >= 0")
+
 
 @dataclass
 class BaselineMetrics:
-    """Averages from the non-attack runs the controller performed first."""
+    """Mean and spread of the non-attack runs the controller performed first.
+
+    The ``*_std`` fields default to 0.0 so baselines built from a single
+    run — or constructed directly by older callers — keep the historical
+    behaviour of a zero-width noise band.
+    """
 
     target_bytes: float
     competing_bytes: float
     server1_lingering: float
     server2_lingering: float
     observed_pairs: tuple
+    #: per-metric population stddev over the baseline replicas
+    target_bytes_std: float = 0.0
+    competing_bytes_std: float = 0.0
+    #: stddev of the summed (server1 + server2) lingering-socket count
+    lingering_std: float = 0.0
+    #: how many runs produced these statistics
+    runs: int = 1
 
     @classmethod
     def from_runs(cls, runs: Sequence[RunResult]) -> "BaselineMetrics":
@@ -60,6 +123,12 @@ class BaselineMetrics:
             server1_lingering=sum(r.server1_lingering for r in runs) / n,
             server2_lingering=sum(r.server2_lingering for r in runs) / n,
             observed_pairs=tuple(sorted(pairs)),
+            target_bytes_std=_pstdev([float(r.target_bytes) for r in runs]),
+            competing_bytes_std=_pstdev([float(r.competing_bytes) for r in runs]),
+            lingering_std=_pstdev(
+                [float(r.server1_lingering + r.server2_lingering) for r in runs]
+            ),
+            runs=len(runs),
         )
 
 
@@ -76,6 +145,14 @@ class Detection:
     #: classification metadata (not attack-triggering by themselves)
     target_reset: bool = False
     competing_reset: bool = False
+    #: confirm-stage verdict: "" before confirmation, then "confirmed"
+    #: (effects reproduced) or "flaky" (nothing reproduced)
+    verdict: str = ""
+    #: sweep-stage effects that failed to reproduce in the confirm run
+    unconfirmed_effects: List[str] = field(default_factory=list)
+    #: evidence for the report: target ratio in each stage's run
+    sweep_target_ratio: float = 1.0
+    confirm_target_ratio: float = 1.0
 
     @property
     def is_attack(self) -> bool:
@@ -83,19 +160,35 @@ class Detection:
 
 
 class AttackDetector:
-    """Applies the paper's thresholds to one run vs. the baseline."""
+    """Applies the paper's thresholds to one run vs. the baseline.
+
+    ``noise_sigmas`` widens every throughput/lingering criterion by the
+    baseline's measured noise: an effect fires only when the delta clears
+    both the paper's relative threshold *and* ``noise_sigmas`` baseline
+    standard deviations in absolute terms.  Single-run baselines carry
+    zero stddev, so the band collapses and only the paper's thresholds
+    apply.
+    """
 
     def __init__(
         self,
         baseline: BaselineMetrics,
         threshold: float = 0.5,
         invalid_response_threshold: float = 0.25,
+        noise_sigmas: float = 0.0,
     ):
+        if noise_sigmas < 0:
+            raise ValueError("noise_sigmas must be >= 0")
         self.baseline = baseline
         self.threshold = threshold
         self.invalid_response_threshold = invalid_response_threshold
+        self.noise_sigmas = noise_sigmas
 
     # ------------------------------------------------------------------
+    def _clears_noise(self, observed: float, mean: float, std: float) -> bool:
+        """True when |observed - mean| exceeds the baseline noise band."""
+        return abs(observed - mean) > self.noise_sigmas * std
+
     def evaluate(self, run: RunResult) -> Detection:
         base = self.baseline
         detection = Detection(strategy_id=run.strategy_id)
@@ -113,17 +206,27 @@ class AttackDetector:
             + (run.server2_lingering - base.server2_lingering)
         )
 
-        if base.target_bytes > 0 and run.target_bytes < 0.02 * base.target_bytes:
+        target_clear = self._clears_noise(
+            run.target_bytes, base.target_bytes, base.target_bytes_std
+        )
+        competing_clear = self._clears_noise(
+            run.competing_bytes, base.competing_bytes, base.competing_bytes_std
+        )
+        if (
+            base.target_bytes > 0
+            and run.target_bytes < 0.02 * base.target_bytes
+            and target_clear
+        ):
             effects.append(EFFECT_CONNECTION_PREVENTED)
-        elif target_ratio <= 1.0 - self.threshold:
+        elif target_ratio <= 1.0 - self.threshold and target_clear:
             effects.append(EFFECT_TARGET_DEGRADED)
-        if target_ratio >= 1.0 + self.threshold:
+        if target_ratio >= 1.0 + self.threshold and target_clear:
             effects.append(EFFECT_TARGET_INCREASED)
-        if competing_ratio <= 1.0 - self.threshold:
+        if competing_ratio <= 1.0 - self.threshold and competing_clear:
             effects.append(EFFECT_COMPETING_DEGRADED)
-        if competing_ratio >= 1.0 + self.threshold:
+        if competing_ratio >= 1.0 + self.threshold and competing_clear:
             effects.append(EFFECT_COMPETING_INCREASED)
-        if detection.lingering_delta > 0:
+        if detection.lingering_delta > self.noise_sigmas * base.lingering_std:
             effects.append(EFFECT_RESOURCE_EXHAUSTION)
         detection.target_reset = run.target_reset
         # a torn-down competing connection is visible either to its client
@@ -141,19 +244,29 @@ class AttackDetector:
 
     # ------------------------------------------------------------------
     def confirm(self, first: Detection, second: Detection) -> Detection:
-        """Repeat-to-confirm: keep only effects that reproduced.
+        """Repeat-to-confirm: keep only effects that reproduced, with a verdict.
 
         "Attack strategies that appear successful are tested a second time
         to ensure repeatability."
+
+        The result is labelled :data:`VERDICT_CONFIRMED` when at least one
+        sweep effect reproduced, :data:`VERDICT_FLAKY` when none did; the
+        effects that failed to reproduce are kept in
+        :attr:`Detection.unconfirmed_effects` as evidence either way.
         """
+        kept = [e for e in first.effects if e in second.effects]
         confirmed = Detection(
             strategy_id=first.strategy_id,
-            effects=[e for e in first.effects if e in second.effects],
+            effects=kept,
             target_ratio=(first.target_ratio + second.target_ratio) / 2,
             competing_ratio=(first.competing_ratio + second.competing_ratio) / 2,
             invalid_response_rate=min(first.invalid_response_rate, second.invalid_response_rate),
             lingering_delta=min(first.lingering_delta, second.lingering_delta),
             target_reset=first.target_reset and second.target_reset,
             competing_reset=first.competing_reset and second.competing_reset,
+            verdict=VERDICT_CONFIRMED if kept else VERDICT_FLAKY,
+            unconfirmed_effects=[e for e in first.effects if e not in second.effects],
+            sweep_target_ratio=first.target_ratio,
+            confirm_target_ratio=second.target_ratio,
         )
         return confirmed

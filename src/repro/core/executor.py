@@ -171,6 +171,10 @@ class RunError:
     error_type: str
     message: str
     traceback_summary: str = ""
+    #: structured failure class: "crash" (exception), "timeout" (watchdog),
+    #: "worker-lost" (pool died under the run), "quarantined" (the strategy
+    #: repeatedly killed/hung its worker and was parked by the supervisor)
+    kind: str = ""
     #: the failure was a watchdog cutoff rather than an exception
     timed_out: bool = False
     attempts: int = 1

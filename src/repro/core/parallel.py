@@ -174,6 +174,7 @@ def _execute_single(
                     error_type=type(exc).__name__,
                     message=str(exc),
                     traceback_summary=traceback.format_exc(limit=8),
+                    kind="crash",
                     run_id=run_id,
                     wall_seconds=time.perf_counter() - attempt_t0,
                 )
@@ -186,6 +187,7 @@ def _execute_single(
                     f"simulation cut off by {result.truncated} watchdog "
                     f"after {result.events_processed} events"
                 ),
+                kind="timeout",
                 timed_out=True,
                 run_id=run_id,
                 wall_seconds=result.wall_seconds,
@@ -230,7 +232,15 @@ class WorkerPool:
     on first parallel dispatch — a fully-cached campaign never forks at
     all — and :meth:`invalidate` discards a pool whose workers died so the
     next dispatch starts fresh.
+
+    Both this class and :class:`repro.core.supervisor.SupervisedWorkerPool`
+    expose the same dispatch protocol (``workers``, ``supervised``,
+    :meth:`dispatch`, :meth:`invalidate`, :meth:`close`), so
+    :func:`run_strategies` treats them interchangeably.
     """
+
+    #: no parent-side deadline enforcement; see SupervisedWorkerPool
+    supervised = False
 
     def __init__(self, workers: Optional[int] = None, obs: Optional[ObsConfig] = None):
         self.workers = workers if workers is not None else default_worker_count()
@@ -249,6 +259,11 @@ class WorkerPool:
     def imap_unordered(self, func: Callable[..., Any], iterable: Sequence[Any]) -> Any:
         """Dispatch pre-batched payloads (chunksize 1: batching is ours)."""
         return self._ensure().imap_unordered(func, iterable, chunksize=1)
+
+    def dispatch(self, batches: Sequence[WorkBatch]) -> Any:
+        """Yield per-slot replies for every batch (the shared pool protocol)."""
+        for replies in self.imap_unordered(_execute_batch, batches):
+            yield from replies
 
     def invalidate(self) -> None:
         """Tear down a broken pool; the next dispatch recreates it."""
@@ -365,7 +380,11 @@ def run_strategies(
     if pool is None:
         pool = WorkerPool(workers=workers, obs=obs)
     try:
-        if pool.workers <= 1 or len(pending) <= 1:
+        # A supervised pool routes even a single pending slot through its
+        # workers so a hang can be killed from the parent; the plain pool
+        # keeps the historical single-slot serial shortcut.
+        serial = pool.workers <= 1 or (len(pending) <= 1 and not pool.supervised)
+        if serial:
             for batch in batches:
                 for reply in _execute_batch(batch):
                     absorb(reply)
@@ -375,9 +394,8 @@ def run_strategies(
                  len(pending), pool.workers, len(batches), batch_size, stage)
         pool_error: Optional[BaseException] = None
         try:
-            for replies in pool.imap_unordered(_execute_batch, batches):
-                for reply in replies:
-                    absorb(reply)
+            for reply in pool.dispatch(batches):
+                absorb(reply)
         except Exception as exc:  # pool-level failure (e.g. a worker was killed)
             pool_error = exc
             log.warning("worker pool failed: %s", exc)
@@ -397,6 +415,7 @@ def run_strategies(
                         if pool_error is None
                         else f"worker pool failed: {pool_error}"
                     ),
+                    kind="worker-lost",
                 )
         return results  # type: ignore[return-value]
     finally:

@@ -114,13 +114,20 @@ def render_campaign_health(result: CampaignResult) -> str:
     visible without digging through the checkpoint journal.
     """
     health = result.health_row()
-    headers = ("Errors", "Timed Out", "Retries", "Resumed", "Cache Hits", "Collapsed")
+    headers = ("Errors", "Timed Out", "Retries", "Resumed", "Cache Hits", "Collapsed",
+               "Quarantined", "Flaky")
     table = _render_table(
         headers,
         [[health["errors"], health["timed_out"], health["retries"],
-          health["resumed"], health["cache_hits"], health["collapsed"]]],
+          health["resumed"], health["cache_hits"], health["collapsed"],
+          health["quarantined"], health["flaky"]]],
     )
     lines = [table]
+    if result.supervisor and any(result.supervisor.values()):
+        lines.append(
+            "  supervisor: "
+            + " ".join(f"{key}={value}" for key, value in result.supervisor.items())
+        )
     for error in result.errors:
         label = "timeout" if error.timed_out else error.error_type
         lines.append(
@@ -128,6 +135,27 @@ def render_campaign_health(result: CampaignResult) -> str:
             f"{error.attempts} attempt(s) — {error.message}"
         )
     return "\n".join(lines)
+
+
+def render_flaky_detections(result: CampaignResult) -> str:
+    """Confirm-stage detections that failed to reproduce, with evidence.
+
+    One row per flaky strategy: the effects the sweep saw, and the target
+    ratio in each stage's run so the non-reproduction is visible.
+    """
+    headers = ("Strategy", "Sweep Effects", "Sweep Ratio", "Confirm Ratio")
+    rows: List[List[object]] = [
+        [
+            strategy.strategy_id,
+            ", ".join(detection.unconfirmed_effects) or "-",
+            f"{detection.sweep_target_ratio:.3f}",
+            f"{detection.confirm_target_ratio:.3f}",
+        ]
+        for strategy, detection in result.flaky
+    ]
+    if not rows:
+        return "(no flaky detections)"
+    return _render_table(headers, rows)
 
 
 def render_attack_clusters(result: CampaignResult) -> str:
@@ -266,6 +294,88 @@ def render_strategy_timeline(
             f"{event.get('name', '?'):22s}{dur}"
             + (f"  {details}" if details else "")
         )
+    return "\n".join(lines)
+
+
+def render_supervision_report(
+    kills: Sequence[Mapping[str, Any]], quarantines: Sequence[Mapping[str, Any]]
+) -> str:
+    """Supervised-pool section of ``repro report``: kills and quarantines.
+
+    ``kills``/``quarantines`` are the trace's ``supervisor.kill`` /
+    ``supervisor.quarantine`` events (see :mod:`repro.obs.store`).
+    """
+    if not kills and not quarantines:
+        return "(no supervisor interventions in trace)"
+    lines = [
+        f"  worker kills/losses  {len(kills)}"
+        + (
+            "  ("
+            + ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(_count_by(kills, "reason").items())
+            )
+            + ")"
+            if kills
+            else ""
+        )
+    ]
+    if quarantines:
+        headers = ("Strategy", "Strikes", "Last Reason")
+        rows: List[List[object]] = [
+            [
+                (event.get("fields") or {}).get("strategy_id", "?"),
+                (event.get("fields") or {}).get("strikes", "?"),
+                (event.get("fields") or {}).get("reason", "?"),
+            ]
+            for event in quarantines
+        ]
+        lines.append("  quarantined strategies:")
+        lines.append(_render_table(headers, rows))
+    return "\n".join(lines)
+
+
+def _count_by(events: Sequence[Mapping[str, Any]], key: str) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for event in events:
+        value = str((event.get("fields") or {}).get(key, "?"))
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def render_verdicts(
+    verdicts: Sequence[Mapping[str, Any]], baseline: Mapping[str, Any]
+) -> str:
+    """Confirm-verdict section of ``repro report``.
+
+    ``verdicts`` are the trace's ``detector.confirm`` events; ``baseline``
+    the ``detector.baseline`` fields (the noise band every detection had
+    to clear), when the campaign recorded them.
+    """
+    if not verdicts:
+        return "(no confirm verdicts in trace)"
+    lines = []
+    if baseline:
+        lines.append(
+            f"  baseline noise band  {baseline.get('runs', '?')} run(s), "
+            f"target {_fmt_num(baseline.get('target_bytes', 0))}"
+            f" ± {baseline.get('noise_sigmas', 0)}σ"
+            f"·{_fmt_num(baseline.get('target_bytes_std', 0))} bytes"
+        )
+    headers = ("Strategy", "Verdict", "Confirmed Effects", "Unconfirmed",
+               "Sweep Ratio", "Confirm Ratio")
+    rows: List[List[object]] = []
+    for event in verdicts:
+        fields = event.get("fields") or {}
+        rows.append([
+            fields.get("strategy_id", "?"),
+            fields.get("verdict", "?"),
+            ", ".join(fields.get("effects", [])) or "-",
+            ", ".join(fields.get("unconfirmed", [])) or "-",
+            fields.get("sweep_target_ratio", "-"),
+            fields.get("confirm_target_ratio", "-"),
+        ])
+    lines.append(_render_table(headers, rows))
     return "\n".join(lines)
 
 

@@ -13,6 +13,11 @@ once per *run*, never per simulated packet) and the whole subsystem costs
 one attribute check when off.
 
 Canonical metric names are documented in ``docs/observability.md``.
+Supervision and verdict counters live in the parent process only:
+``supervisor.kills`` / ``supervisor.worker_lost`` / ``supervisor.respawns``
+/ ``supervisor.recycled`` / ``supervisor.redispatched`` /
+``supervisor.quarantines`` count the supervised pool's interventions, and
+``detector.confirmed`` / ``detector.flaky`` count confirm-stage verdicts.
 """
 
 from __future__ import annotations

@@ -84,6 +84,34 @@ def strategy_timeline(
     return [e for e in events if e.get("strategy_id") == strategy_id]
 
 
+def supervisor_kills(events: List[TraceEvent]) -> List[TraceEvent]:
+    """Worker kill/loss events recorded by the supervised pool."""
+    return [e for e in events if e.get("name") == "supervisor.kill"]
+
+
+def quarantine_events(events: List[TraceEvent]) -> List[TraceEvent]:
+    """Poison-strategy quarantine events recorded by the supervised pool."""
+    return [e for e in events if e.get("name") == "supervisor.quarantine"]
+
+
+def confirm_verdicts(events: List[TraceEvent]) -> List[TraceEvent]:
+    """Confirm-stage verdict events (``detector.confirm``), one per candidate."""
+    return [e for e in events if e.get("name") == "detector.confirm"]
+
+
+def baseline_stats(events: List[TraceEvent]) -> Dict[str, Any]:
+    """The recorded baseline noise band (``detector.baseline`` fields).
+
+    Returns the last one in the trace (a resumed campaign re-emits it), or
+    an empty dict when the campaign predates noise-aware detection.
+    """
+    stats: Dict[str, Any] = {}
+    for event in events:
+        if event.get("name") == "detector.baseline":
+            stats = event.get("fields") or {}
+    return stats
+
+
 def has_baseline(events: List[TraceEvent]) -> bool:
     """Whether the trace contains baseline-stage records."""
     return any(e.get("stage") == "baseline" for e in events)

@@ -134,6 +134,30 @@ class TestRetry:
         assert policy.backoff_for(3) == pytest.approx(0.4)
         assert RetryPolicy().backoff_for(1) == 0.0
 
+    def test_backoff_attempt_zero_never_sleeps(self):
+        # the first attempt runs immediately regardless of the backoff base
+        assert RetryPolicy(retries=3, backoff=5.0).backoff_for(0) == 0.0
+        assert RetryPolicy(retries=0, backoff=0.0).backoff_for(0) == 0.0
+
+    def test_retry_seeds_do_not_collide_across_strategies(self):
+        # 1000 strategies x 10 retry attempts: every derived seed distinct
+        seeds = {
+            derive_seed(7, sid, attempt)
+            for sid in range(1000)
+            for attempt in range(1, 11)
+        }
+        assert len(seeds) == 10_000
+
+    def test_retry_seeds_distinct_from_base_and_baseline(self):
+        # a strategy's retries never replay the base seed or a baseline
+        # (strategy_id=None) retry seed
+        baseline = {derive_seed(7, None, attempt) for attempt in range(1, 4)}
+        for sid in (1, 2, 3):
+            for attempt in range(1, 4):
+                seed = derive_seed(7, sid, attempt)
+                assert seed != 7
+                assert seed not in baseline
+
 
 class _ScriptedRng:
     def __init__(self, rolls):
@@ -303,3 +327,43 @@ class TestCliFlags:
         args = build_parser().parse_args(["campaign"])
         assert args.retries == 1
         assert args.checkpoint is None
+
+    @pytest.mark.parametrize("argv", [
+        ["campaign", "--retries", "-1"],
+        ["campaign", "--batch-size", "0"],
+        ["campaign", "--batch-size", "-2"],
+        ["campaign", "--run-budget", "0"],
+        ["campaign", "--run-budget", "-1.5"],
+        ["campaign", "--workers", "0"],
+        ["campaign", "--retry-backoff", "-0.1"],
+        ["campaign", "--max-events", "0"],
+        ["campaign", "--sample-every", "0"],
+        ["campaign", "--slot-budget", "0"],
+        ["campaign", "--quarantine-after", "0"],
+        ["campaign", "--max-tasks-per-child", "0"],
+        ["campaign", "--baseline-runs", "0"],
+        ["campaign", "--noise-sigmas", "-1"],
+    ])
+    def test_nonsensical_values_rejected_at_parse_time(self, argv, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        # argparse puts the offending flag and reason on stderr
+        assert argv[1] in capsys.readouterr().err
+
+    def test_supervision_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "campaign", "--no-supervision", "--slot-budget", "7.5",
+            "--quarantine-after", "2", "--max-tasks-per-child", "50",
+            "--baseline-runs", "3", "--noise-sigmas", "2.5",
+        ])
+        assert args.no_supervision is True
+        assert args.slot_budget == 7.5
+        assert args.quarantine_after == 2
+        assert args.max_tasks_per_child == 50
+        assert args.baseline_runs == 3
+        assert args.noise_sigmas == 2.5
