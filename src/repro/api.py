@@ -34,6 +34,7 @@ from repro.core.executor import TestbedConfig
 from repro.core.generation import GenerationConfig
 from repro.core.parallel import DEFAULT_BATCH_SIZE, RetryPolicy
 from repro.core.supervisor import SupervisionConfig
+from repro.fabric.config import FabricConfig
 from repro.obs.config import ObsConfig
 
 #: bump on incompatible spec-dict changes; ``from_dict`` rejects unknown majors
@@ -89,6 +90,11 @@ class CampaignSpec:
     obs: Optional[ObsConfig] = None
     supervision: SupervisionConfig = field(default_factory=SupervisionConfig)
     confirmation: ConfirmationPolicy = field(default_factory=ConfirmationPolicy)
+    #: distribute the sweep over a shared artifact store (see
+    #: :mod:`repro.fabric`); ``None`` keeps the single-process runtime.
+    #: Like workers/batch_size, this changes *how* the campaign runs, not
+    #: what it computes, so it is excluded from :meth:`fingerprint`.
+    fabric: Optional[FabricConfig] = None
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -108,6 +114,7 @@ class CampaignSpec:
             "obs": None if self.obs is None else asdict(self.obs),
             "supervision": asdict(self.supervision),
             "confirmation": asdict(self.confirmation),
+            "fabric": None if self.fabric is None else self.fabric.to_dict(),
         }
 
     @classmethod
@@ -143,6 +150,10 @@ class CampaignSpec:
             ),
             confirmation=ConfirmationPolicy(
                 **_from_known(ConfirmationPolicy, data.get("confirmation") or {})
+            ),
+            fabric=(
+                None if data.get("fabric") is None
+                else FabricConfig(**_from_known(FabricConfig, data["fabric"]))
             ),
         )
 
@@ -200,7 +211,16 @@ def run_campaign(
 
     ``progress(stage, done, total)`` is invoked from the parent process as
     runs finish ("baseline" / "sweep" / "confirm").
+
+    A spec with ``fabric`` set runs distributed: the sweep is sharded into
+    leased work units on the shared artifact store and any ``repro worker``
+    processes pointed at the same store help execute them (see
+    :mod:`repro.fabric`).
     """
+    if spec.fabric is not None:
+        from repro.fabric.coordinator import run_fabric_campaign
+
+        return run_fabric_campaign(spec, progress=progress)
     return spec.build_controller().run_campaign(progress=progress)
 
 
@@ -230,6 +250,7 @@ def spec_from_kwargs(config: TestbedConfig, **kwargs: Any) -> CampaignSpec:
         obs=kwargs.pop("obs", None),
         supervision=kwargs.pop("supervision", SupervisionConfig()),
         confirmation=kwargs.pop("confirmation", ConfirmationPolicy()),
+        fabric=kwargs.pop("fabric", None),
     )
     if kwargs:
         raise TypeError(f"unknown campaign keyword(s): {sorted(kwargs)}")

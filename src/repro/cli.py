@@ -3,6 +3,7 @@
 Commands:
 
 * ``campaign``    — run a full SNAKE campaign against one implementation
+* ``worker``      — serve leased work units from a shared fabric store
 * ``baseline``    — run and print the non-attack baseline metrics
 * ``report``      — inspect a recorded campaign's trace/metrics telemetry
 * ``searchspace`` — the Section VI-C injection-model comparison
@@ -180,18 +181,62 @@ def _obs_from_args(args: argparse.Namespace) -> Optional[ObsConfig]:
     )
 
 
+#: supervisor tuning flags that contradict ``--no-supervision``; the
+#: argparse defaults are ``None`` so explicit use is detectable
+_SUPERVISION_FLAGS = (
+    ("slot_budget", "--slot-budget"),
+    ("quarantine_after", "--quarantine-after"),
+    ("max_tasks_per_child", "--max-tasks-per-child"),
+)
+
+#: downstream default when --quarantine-after is not given
+DEFAULT_QUARANTINE_AFTER = 3
+
+
+def _validate_campaign_flags(args: argparse.Namespace) -> Optional[str]:
+    """Flag-combination checks, rejected at parse time like the scalar
+    argparse types.  Returns an error message or ``None``."""
+    if args.no_supervision:
+        for attr, flag in _SUPERVISION_FLAGS:
+            if getattr(args, attr) is not None:
+                return f"{flag} has no effect with --no-supervision"
+    if args.resume is True and not args.checkpoint:
+        # bare --resume names no journal; require --checkpoint to supply it
+        return "--resume without a journal requires --checkpoint"
+    if isinstance(args.resume, str) and args.checkpoint and args.checkpoint != args.resume:
+        return (
+            f"--resume {args.resume} and --checkpoint {args.checkpoint} "
+            "name different journals"
+        )
+    if args.fabric and not args.store:
+        return "--fabric requires --store (the shared artifact store)"
+    if not args.fabric:
+        for attr, flag in (
+            ("store", "--store"), ("lease_ttl", "--lease-ttl"), ("lease_size", "--lease-size"),
+        ):
+            if getattr(args, attr) is not None:
+                return f"{flag} has no effect without --fabric"
+    return None
+
+
 def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     """Build the campaign's :class:`CampaignSpec` from CLI flags.
 
     ``--spec FILE`` loads the whole spec from one JSON artifact (written by
     ``--spec-out`` or by hand) and takes precedence over the per-field
     flags; ``--no-cache`` still applies on top so a cached spec can be
-    forced to re-execute.
+    forced to re-execute, and ``--fabric --store`` still applies on top so
+    a recorded spec can be re-run distributed.
     """
+    resume_path = args.resume if isinstance(args.resume, str) else None
     if args.spec:
         with open(args.spec, "r", encoding="utf-8") as fh:
             spec = CampaignSpec.from_dict(json.load(fh))
     else:
+        quarantine_after = (
+            args.quarantine_after if args.quarantine_after is not None
+            else DEFAULT_QUARANTINE_AFTER
+        )
         spec = CampaignSpec(
             testbed=_testbed_from_args(
                 args, max_events=args.max_events, run_budget=args.run_budget
@@ -199,7 +244,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
             workers=args.workers,
             sample_every=args.sample_every,
             retry=RetryPolicy(retries=args.retries, backoff=args.retry_backoff),
-            checkpoint=args.resume if args.resume else args.checkpoint,
+            checkpoint=resume_path or args.checkpoint,
             resume=args.resume is not None,
             cache_dir=args.cache_dir,
             batch_size=args.batch_size,
@@ -208,7 +253,7 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
                 enabled=not args.no_supervision,
                 slot_budget=args.slot_budget,
                 max_tasks_per_child=args.max_tasks_per_child,
-                quarantine_after=args.quarantine_after,
+                quarantine_after=quarantine_after,
             ),
             confirmation=ConfirmationPolicy(
                 baseline_runs=args.baseline_runs,
@@ -217,10 +262,23 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         )
     if args.no_cache:
         spec = spec.with_overrides(cache_dir=None)
+    if args.fabric:
+        from repro.fabric.config import FabricConfig
+
+        spec = spec.with_overrides(
+            fabric=FabricConfig(
+                store=args.store,
+                lease_ttl=args.lease_ttl if args.lease_ttl is not None else 30.0,
+                lease_size=args.lease_size if args.lease_size is not None else 4,
+            )
+        )
     return spec
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    problem = _validate_campaign_flags(args)
+    if problem is not None:
+        args.parser.error(problem)  # exits with status 2, argparse-style
     try:
         spec = _spec_from_args(args)
     except (OSError, ValueError, TypeError) as exc:
@@ -243,9 +301,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             sys.stderr.write(f"\r[{time.time() - started:6.1f}s] {stage}: {done}/{total}  ")
             sys.stderr.flush()
 
+    from repro.fabric.coordinator import FabricMismatch
+
     try:
         result = run_campaign(spec, progress=progress)
-    except JournalMismatch as exc:
+    except (JournalMismatch, FabricMismatch) as exc:
         sys.stderr.write(f"\nerror: {exc}\n")
         return 2
     sys.stderr.write("\n")
@@ -263,6 +323,41 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             json.dump(result.metrics, fh, indent=2, sort_keys=True)
             fh.write("\n")
         sys.stderr.write(f"metrics snapshot written to {args.metrics_out}\n")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Serve leased fabric work units (``repro worker --store ...``)."""
+    from repro.fabric.store import store_for
+    from repro.fabric.worker import FabricWorker
+
+    obs = None
+    if args.trace_dir or args.metrics_out:
+        obs = ObsConfig(trace_dir=args.trace_dir, metrics=args.metrics_out is not None)
+    store = store_for(args.store)
+    worker = FabricWorker(
+        store, workers=args.workers, obs=obs, poll_interval=args.poll
+    )
+    sys.stderr.write(f"worker {worker.worker_id} serving store {args.store}\n")
+    try:
+        stats = worker.run(
+            once=args.once,
+            idle_exit=args.idle_exit,
+            manifest_timeout=args.manifest_timeout,
+        )
+    finally:
+        store.close()
+    if args.metrics_out:
+        from repro.obs.metrics import METRICS
+
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(METRICS.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    sys.stderr.write(
+        f"worker {worker.worker_id} done: "
+        + " ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+        + "\n"
+    )
     return 0
 
 
@@ -382,10 +477,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="event watchdog: simulator events allowed per run")
     sub.add_argument("--checkpoint", metavar="JOURNAL", default=None,
                      help="journal completed runs to this JSONL file as they finish")
-    sub.add_argument("--resume", metavar="JOURNAL", default=None,
+    sub.add_argument("--resume", metavar="JOURNAL", nargs="?", const=True, default=None,
                      help="resume from (and keep appending to) an existing journal, "
                           "skipping already-completed strategies (refused if the "
-                          "journal was written under a different spec)")
+                          "journal was written under a different spec); with no "
+                          "value, resumes the journal named by --checkpoint")
     sub.add_argument("--cache-dir", metavar="DIR", default=None,
                      help="content-addressed run cache: restore any run already "
                           "on disk instead of simulating it, persist fresh runs")
@@ -400,9 +496,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="supervisor deadline: wall seconds a worker may spend "
                           "on one strategy before it is killed and respawned "
                           "(default: derived from --run-budget)")
-    sub.add_argument("--quarantine-after", type=_positive_int, default=3,
+    sub.add_argument("--quarantine-after", type=_positive_int, default=None,
                      help="worker kills/deaths a strategy may cause before it "
-                          "is quarantined")
+                          f"is quarantined (default {DEFAULT_QUARANTINE_AFTER})")
     sub.add_argument("--max-tasks-per-child", type=_positive_int, default=None,
                      help="recycle each worker after this many strategies")
     sub.add_argument("--baseline-runs", type=_positive_int, default=2,
@@ -429,7 +525,48 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cProfile every run; keep .pstats for the N slowest")
     sub.add_argument("--profile-keep", type=int, default=5,
                      help="how many slowest-run profiles to keep (with --profile)")
-    sub.set_defaults(handler=cmd_campaign)
+    sub.add_argument("--fabric", action="store_true",
+                     help="distribute the sweep over a shared artifact store; "
+                          "repro worker processes pointed at the same --store "
+                          "help execute it (requires --store)")
+    sub.add_argument("--store", metavar="STORE", default=None,
+                     help="shared artifact store: a directory, or sqlite:PATH / "
+                          "*.db for the SQLite backend (with --fabric)")
+    sub.add_argument("--lease-ttl", type=_positive_float, default=None,
+                     help="seconds a claimed work unit may go without a heartbeat "
+                          "before other workers may reclaim it (default 30)")
+    sub.add_argument("--lease-size", type=_positive_int, default=None,
+                     help="strategies per claimable work unit (default 4)")
+    sub.set_defaults(handler=cmd_campaign, parser=sub)
+
+    sub = subparsers.add_parser(
+        "worker",
+        help="serve leased work units from a shared fabric store",
+        description="Waits for a campaign manifest on the shared store, then "
+                    "claims, executes and commits leased work units until the "
+                    "campaign completes.  Start any number of these (on any "
+                    "host sharing the store) next to a campaign run with "
+                    "--fabric --store pointing at the same store.",
+    )
+    sub.add_argument("--store", metavar="STORE", required=True,
+                     help="shared artifact store: a directory, or sqlite:PATH / "
+                          "*.db for the SQLite backend")
+    sub.add_argument("--workers", type=_positive_int, default=1,
+                     help="local worker-pool processes for executing unit slots")
+    sub.add_argument("--poll", type=_positive_float, default=0.2,
+                     help="seconds between polls for a manifest / claimable work")
+    sub.add_argument("--once", action="store_true",
+                     help="serve at most one work unit, then exit")
+    sub.add_argument("--idle-exit", type=_positive_float, default=None,
+                     help="exit after this many seconds with no claimable work")
+    sub.add_argument("--manifest-timeout", type=_positive_float, default=None,
+                     help="give up if no campaign manifest appears in time "
+                          "(default: wait forever)")
+    sub.add_argument("--trace-dir", metavar="DIR", default=None,
+                     help="record this worker's JSONL event traces here")
+    sub.add_argument("--metrics-out", metavar="JSON", default=None,
+                     help="write this worker's metrics snapshot here on exit")
+    sub.set_defaults(handler=cmd_worker)
 
     sub = subparsers.add_parser(
         "report", help="inspect a recorded campaign's telemetry"

@@ -32,7 +32,8 @@
 * :mod:`repro.core.reporting` — Table I / Table II renderers.
 
 The stable entry point for running campaigns is :mod:`repro.api`
-(:class:`~repro.api.CampaignSpec` + :func:`~repro.api.run_campaign`).
+(:class:`~repro.api.CampaignSpec` + :func:`~repro.api.run_campaign`);
+:mod:`repro.fabric` distributes campaigns over a shared artifact store.
 """
 
 from repro.core.strategy import Strategy
@@ -41,7 +42,7 @@ from repro.core.executor import Executor, RunError, RunResult, TestbedConfig
 from repro.core.cache import RunCache, campaign_fingerprint, run_fingerprint
 from repro.core.parallel import RetryPolicy, WorkerPool
 from repro.core.supervisor import SupervisedWorkerPool, SupervisionConfig
-from repro.core.checkpoint import CheckpointJournal, JournalMismatch
+from repro.core.checkpoint import CheckpointJournal, JournalCorrupt, JournalMismatch
 from repro.core.detector import (
     VERDICT_CONFIRMED,
     VERDICT_FLAKY,
@@ -73,6 +74,7 @@ __all__ = [
     "run_fingerprint",
     "dedupe_strategies",
     "CheckpointJournal",
+    "JournalCorrupt",
     "JournalMismatch",
     "AttackDetector",
     "BaselineMetrics",

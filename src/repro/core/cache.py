@@ -26,25 +26,28 @@ Fingerprint rules
   checkpoint journal stores it so ``--resume`` refuses a journal written
   under a different spec instead of silently mixing outcomes.
 
-Layout: ``<cache_dir>/<fp[:2]>/<fp>.json`` — one JSON document per run,
-written atomically (tmp + rename), sharded two hex chars deep so a
-million-entry cache does not melt one directory.  A corrupt entry (torn
-write, hand edit) is treated as a miss, counted under ``cache.corrupt``,
-and deleted so it cannot poison later campaigns.
+Storage: entries live in an :class:`~repro.fabric.store.ArtifactStore`
+under the ``runs`` namespace — by default the sharded local-dir backend
+(``<cache_dir>/runs/<fp[:2]>/<fp>.json``, one atomically-written JSON
+document per run, sharded two hex chars deep so a million-entry cache
+does not melt one directory), but any store works, which is how the
+distributed fabric shares one cache across worker hosts through SQLite.
+A corrupt entry (torn write, hand edit) is treated as a miss, counted
+under ``cache.corrupt`` by whichever process actually deletes it, and
+removed so it cannot poison later campaigns.
 """
 
 from __future__ import annotations
 
 import json
 import logging
-import os
-import tempfile
 from hashlib import blake2b
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.core.executor import RunResult, TestbedConfig
 from repro.core.generation import GenerationConfig
 from repro.core.strategy import Strategy, _jsonable
+from repro.fabric.store import ArtifactStore, LocalDirStore, StoreCorrupt
 from repro.obs.metrics import METRICS
 
 log = logging.getLogger("repro.core.cache")
@@ -112,21 +115,37 @@ def campaign_fingerprint(
 
 
 class RunCache:
-    """Disk-backed map from run fingerprint to :class:`RunResult`.
+    """Store-backed map from run fingerprint to :class:`RunResult`.
 
     Used from the parent process only: the controller/pool front-end looks
-    runs up before dispatching work, so a hit costs one small file read and
-    zero IPC.  Safe for concurrent campaigns sharing a directory — writes
-    are atomic renames and readers tolerate (count + delete) torn entries.
+    runs up before dispatching work, so a hit costs one small store read
+    and zero IPC.  Safe for concurrent campaigns sharing a store — writes
+    are atomic and readers tolerate torn entries, with the delete (and its
+    ``cache.corrupt`` count) attributed to exactly one of any racing
+    cleaners.
+
+    Construct with a directory path (the classic local cache) or any
+    :class:`~repro.fabric.store.ArtifactStore` (how fabric workers share a
+    cache through one SQLite file).
     """
 
-    def __init__(self, root: str):
-        self.root = root
-        os.makedirs(root, exist_ok=True)
+    NAMESPACE = "runs"
+
+    def __init__(self, store: Union[str, ArtifactStore]):
+        if isinstance(store, str):
+            self.root: Optional[str] = store
+            self.store: ArtifactStore = LocalDirStore(store)
+        else:
+            self.root = getattr(store, "root", None)
+            self.store = store
 
     # ------------------------------------------------------------------
     def path_for(self, fingerprint: str) -> str:
-        return os.path.join(self.root, fingerprint[:2], f"{fingerprint}.json")
+        """On-disk path of one entry (local-dir backends only)."""
+        path_for = getattr(self.store, "path_for", None)
+        if path_for is None:
+            raise TypeError(f"{type(self.store).__name__} entries have no filesystem path")
+        return path_for(self.NAMESPACE, fingerprint)
 
     @staticmethod
     def cacheable(outcome: object) -> bool:
@@ -140,26 +159,24 @@ class RunCache:
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> Optional[RunResult]:
         """Return the cached result, or ``None`` (miss / corrupt entry)."""
-        path = self.path_for(fingerprint)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
+            entry = self.store.get(self.NAMESPACE, fingerprint)
+            if entry is None:
+                if METRICS.enabled:
+                    METRICS.inc("cache.misses")
+                return None
             if entry.get("fingerprint") != fingerprint or "outcome" not in entry:
                 raise ValueError("entry does not describe this fingerprint")
             result = RunResult.from_dict(entry["outcome"])
-        except FileNotFoundError:
+        except (StoreCorrupt, OSError, ValueError, TypeError, KeyError) as exc:
+            log.warning("dropping corrupt cache entry %s: %s", fingerprint, exc)
             if METRICS.enabled:
                 METRICS.inc("cache.misses")
-            return None
-        except (OSError, ValueError, TypeError, KeyError) as exc:
-            log.warning("dropping corrupt cache entry %s: %s", path, exc)
-            if METRICS.enabled:
+            # Concurrent cleaners race here: delete() never raises on a
+            # missing entry, and only the caller that actually removed it
+            # counts the corruption — once, total, across all processes.
+            if self.store.delete(self.NAMESPACE, fingerprint) and METRICS.enabled:
                 METRICS.inc("cache.corrupt")
-                METRICS.inc("cache.misses")
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
             return None
         result.cached = True
         if METRICS.enabled:
@@ -173,18 +190,11 @@ class RunCache:
         assert isinstance(outcome, RunResult)
         payload = outcome.to_dict()
         payload["cached"] = False  # restored copies re-mark themselves
-        path = self.path_for(fingerprint)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump({"fingerprint": fingerprint, "outcome": payload}, fh)
-            os.replace(tmp, path)
+            self.store.put(
+                self.NAMESPACE, fingerprint, {"fingerprint": fingerprint, "outcome": payload}
+            )
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
             return False
         if METRICS.enabled:
             METRICS.inc("cache.stores")
@@ -192,9 +202,4 @@ class RunCache:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        total = 0
-        for shard in os.listdir(self.root):
-            shard_path = os.path.join(self.root, shard)
-            if os.path.isdir(shard_path):
-                total += sum(1 for n in os.listdir(shard_path) if n.endswith(".json"))
-        return total
+        return self.store.count(self.NAMESPACE)

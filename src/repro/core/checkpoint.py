@@ -19,10 +19,19 @@ journal through a temp file + fsync + ``os.replace`` (plus a best-effort
 directory fsync), so a SIGKILL mid-write leaves either the previous
 complete journal or the new complete journal on disk — never a truncated
 tail.  Journals are one short line per strategy, so the whole-file
-rewrite stays cheap at campaign scale.  Lines that fail to parse anyway
-(journals written by older versions, or hand-edited files) are still
-ignored on load; the affected strategies simply re-run.  Resuming against
-a journal whose header does not match the current campaign raises
+rewrite stays cheap at campaign scale.
+
+Because appends are atomic, the only unparseable line a crash can
+legitimately produce is a torn *final* line (journals predating the
+atomic commit, or non-atomic filesystems): :meth:`CheckpointJournal.load`
+tolerates exactly that and nothing more.  A line that fails to parse
+anywhere *before* the end of the file means real damage — disk
+corruption, a hand edit, interleaved writers — and raises
+:class:`JournalCorrupt` instead of silently dropping results (a dropped
+result would silently re-run, corrupting exactly-once accounting).
+Well-formed JSON records that merely lack the expected fields are still
+skipped for forward compatibility.  Resuming against a journal whose
+header does not match the current campaign raises
 :class:`JournalMismatch` instead of silently mixing incompatible results.
 """
 
@@ -43,6 +52,15 @@ CompletedMap = Dict[Tuple[str, Optional[int]], RunOutcome]
 
 class JournalMismatch(ValueError):
     """The journal on disk belongs to a different campaign configuration."""
+
+
+class JournalCorrupt(ValueError):
+    """A non-final journal line is unparseable: the file is damaged.
+
+    Torn final lines are expected after a hard kill and are tolerated;
+    garbage anywhere else cannot come from a crash (appends are atomic)
+    and silently skipping it would lose completed results.
+    """
 
 
 def encode_outcome(stage: str, outcome: RunOutcome) -> Dict[str, object]:
@@ -73,44 +91,53 @@ class CheckpointJournal:
 
     # ------------------------------------------------------------------
     def load(self, expected_meta: Optional[Dict[str, object]] = None) -> CompletedMap:
-        """Read completed outcomes back, skipping corrupt (truncated) lines.
+        """Read completed outcomes back, tolerating only a torn final line.
 
         ``expected_meta`` keys are compared against the journal header;
-        any difference raises :class:`JournalMismatch`.
+        any difference raises :class:`JournalMismatch`.  An unparseable
+        line anywhere before the last one raises :class:`JournalCorrupt`.
         """
         completed: CompletedMap = {}
         if not os.path.exists(self.path):
             return completed
         with open(self.path, "r", encoding="utf-8") as fh:
-            header_seen = False
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
+            lines = [line.strip() for line in fh]
+        while lines and not lines[-1]:
+            lines.pop()
+        header_seen = False
+        for index, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
                     continue  # half-written tail from a hard kill
-                if not isinstance(record, dict):
+                raise JournalCorrupt(
+                    f"{self.path}: line {index + 1} is not valid JSON ({exc}); "
+                    "mid-file corruption means the journal is damaged — "
+                    "delete it (results will re-run) or restore a backup"
+                ) from exc
+            if not isinstance(record, dict):
+                continue
+            if not header_seen:
+                header_seen = True
+                if "version" in record:
+                    self._check_meta(record, expected_meta)
                     continue
-                if not header_seen:
-                    header_seen = True
-                    if "version" in record:
-                        self._check_meta(record, expected_meta)
-                        continue
-                    # headerless journal: fall through and treat the line
-                    # as an outcome, but only if no meta was expected
-                    if expected_meta:
-                        raise JournalMismatch(
-                            f"{self.path}: journal has no metadata header"
-                        )
-                if "outcome" not in record or "stage" not in record:
-                    continue
-                try:
-                    outcome = decode_outcome(record)
-                except (KeyError, TypeError, ValueError):
-                    continue
-                completed[(str(record["stage"]), outcome.strategy_id)] = outcome
+                # headerless journal: fall through and treat the line
+                # as an outcome, but only if no meta was expected
+                if expected_meta:
+                    raise JournalMismatch(
+                        f"{self.path}: journal has no metadata header"
+                    )
+            if "outcome" not in record or "stage" not in record:
+                continue
+            try:
+                outcome = decode_outcome(record)
+            except (KeyError, TypeError, ValueError):
+                continue
+            completed[(str(record["stage"]), outcome.strategy_id)] = outcome
         return completed
 
     def _check_meta(self, header: Dict[str, object], expected: Optional[Dict[str, object]]) -> None:
@@ -125,11 +152,28 @@ class CheckpointJournal:
 
     # ------------------------------------------------------------------
     def open(self, meta: Optional[Dict[str, object]] = None) -> "CheckpointJournal":
-        """Open for appending; write the header if the file is new/empty."""
+        """Open for appending; write the header if the file is new/empty.
+
+        A torn final line is dropped here so it is not re-committed into
+        the middle of the file by later appends; mid-file garbage raises
+        :class:`JournalCorrupt` just as :meth:`load` does.
+        """
         lines: List[str] = []
         if os.path.exists(self.path):
             with open(self.path, "r", encoding="utf-8") as fh:
                 lines = [line.rstrip("\n") for line in fh if line.strip()]
+        for index, line in enumerate(lines):
+            try:
+                json.loads(line)
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
+                    lines.pop()  # torn tail from a hard kill: discard
+                    break
+                raise JournalCorrupt(
+                    f"{self.path}: line {index + 1} is not valid JSON ({exc}); "
+                    "mid-file corruption means the journal is damaged — "
+                    "delete it (results will re-run) or restore a backup"
+                ) from exc
         self._lines = lines
         if not lines:
             header = {"version": JOURNAL_VERSION}

@@ -98,6 +98,10 @@ class CampaignResult:
     #: with metrics enabled; empty otherwise.  The payload written by
     #: ``repro campaign --metrics-out``.
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: fabric lifetime counters (leases claimed/reclaimed, exactly-once
+    #: commits/duplicates, ...) when the campaign ran distributed over a
+    #: shared artifact store; empty dict for single-process campaigns
+    fabric: Dict[str, int] = field(default_factory=dict)
 
     @property
     def unique_attacks(self) -> List[str]:
@@ -202,6 +206,17 @@ class Controller:
         self.supervision = supervision
         self.confirmation = confirmation
         self.executor = Executor(config)
+        #: when set, a :class:`~repro.core.cache.RunCache` used instead of
+        #: one built from ``cache_dir`` (the fabric injects a store-backed
+        #: cache shared with its workers)
+        self.cache: Optional[RunCache] = None
+        #: when set, replaces :func:`~repro.core.parallel.run_strategies`
+        #: for stage execution — called as ``stage_runner(stage=...,
+        #: strategies=pending, seed=..., cache=..., pool=..., on_result=...,
+        #: progress=...)`` and must return outcomes aligned with the pending
+        #: strategies.  This is the seam the distributed fabric plugs into;
+        #: journaling and resume stay the controller's job either way.
+        self.stage_runner: Optional[Callable[..., List[RunOutcome]]] = None
 
     # ------------------------------------------------------------------
     def make_generator(self) -> StrategyGenerator:
@@ -296,21 +311,32 @@ class Controller:
             if journal is not None:
                 journal.record(stage, outcome)
 
-        fresh = run_strategies(
-            self.config,
-            pending,
-            workers=self.workers,
-            seed=seed,
-            batch_size=self.batch_size,
-            retries=self.retries,
-            retry_backoff=self.retry_backoff,
-            on_result=on_result,
-            progress=lambda done, total: report(stage, done, total),
-            obs=self.obs,
-            stage=stage,
-            cache=cache,
-            pool=pool,
-        )
+        if self.stage_runner is not None:
+            fresh = self.stage_runner(
+                stage=stage,
+                strategies=pending,
+                seed=seed,
+                cache=cache,
+                pool=pool,
+                on_result=on_result,
+                progress=lambda done, total: report(stage, done, total),
+            )
+        else:
+            fresh = run_strategies(
+                self.config,
+                pending,
+                workers=self.workers,
+                seed=seed,
+                batch_size=self.batch_size,
+                retries=self.retries,
+                retry_backoff=self.retry_backoff,
+                on_result=on_result,
+                progress=lambda done, total: report(stage, done, total),
+                obs=self.obs,
+                stage=stage,
+                cache=cache,
+                pool=pool,
+            )
         by_id = {s.strategy_id: outcome for s, outcome in zip(pending, fresh)}
         outcomes = [
             completed.get((stage, s.strategy_id), by_id.get(s.strategy_id))
@@ -338,7 +364,10 @@ class Controller:
                 log.info("resumed %d completed outcome(s) from %s",
                          len(completed), self.checkpoint)
             journal.open(self._journal_meta())
-        cache = RunCache(self.cache_dir) if self.cache_dir else None
+        if self.cache is not None:
+            cache: Optional[RunCache] = self.cache
+        else:
+            cache = RunCache(self.cache_dir) if self.cache_dir else None
         try:
             with BUS.span("campaign", protocol=self.config.protocol,
                           variant=self.config.variant):

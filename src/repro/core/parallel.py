@@ -20,6 +20,13 @@ every slot is fingerprinted in the parent and looked up *before* dispatch —
 a hit costs one file read and zero simulator executions, and fresh clean
 results are persisted as they arrive.
 
+This module is also the execution engine of the distributed fabric: a
+``repro worker`` (see :mod:`repro.fabric.worker`) decodes each leased work
+unit into strategies and runs them through :func:`run_strategies` with a
+store-backed cache and its own per-host pool, committing outcomes from the
+``on_result`` hook — the same alignment, retry and crash-isolation
+guarantees apply per host.
+
 Fault tolerance: a worker never lets an exception escape.  Every slot in the
 returned list holds either a :class:`~repro.core.executor.RunResult` or a
 structured :class:`~repro.core.executor.RunError` — crashes and watchdog

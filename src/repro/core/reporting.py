@@ -128,6 +128,11 @@ def render_campaign_health(result: CampaignResult) -> str:
             "  supervisor: "
             + " ".join(f"{key}={value}" for key, value in result.supervisor.items())
         )
+    if result.fabric:
+        lines.append(
+            "  fabric: "
+            + " ".join(f"{key}={value}" for key, value in sorted(result.fabric.items()))
+        )
     for error in result.errors:
         label = "timeout" if error.timed_out else error.error_type
         lines.append(

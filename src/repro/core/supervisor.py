@@ -90,8 +90,10 @@ def _maybe_inject_fault(strategy_id: Optional[int]) -> None:
     spec = os.environ.get(FAULT_ENV)
     if not spec:
         return
+    mode, _, raw = spec.partition(":")
+    if mode not in ("hang", "crash"):
+        return  # a fabric-layer fault spec (see repro.fabric), not ours
     try:
-        mode, _, raw = spec.partition(":")
         target: Optional[int] = None if raw == "baseline" else int(raw)
     except ValueError:
         log.warning("ignoring malformed %s=%r", FAULT_ENV, spec)

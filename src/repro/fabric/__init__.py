@@ -1,0 +1,38 @@
+"""Crash-safe distributed campaign fabric.
+
+Shards a campaign's sweep into fingerprint-addressed work units on a
+shared :class:`~repro.fabric.store.ArtifactStore`, leases them to
+``repro worker`` processes with TTL + heartbeat renewal, and accounts
+results exactly once through an idempotent ledger keyed by run
+fingerprint.  Submodules:
+
+- ``store``       — pluggable artifact store (local-dir and SQLite backends)
+- ``config``      — :class:`FabricConfig` spec fragment
+- ``leases``      — TTL work-lease queue with reclaim of crashed owners
+- ``ledger``      — exactly-once result commits keyed by run fingerprint
+- ``worker``      — the per-host agent behind ``repro worker``
+- ``coordinator`` — drives a fabric campaign and owns the journal
+"""
+
+from repro.fabric.config import FabricConfig
+from repro.fabric.ledger import ResultLedger
+from repro.fabric.leases import LeaseQueue, unit_fingerprint
+from repro.fabric.store import (
+    ArtifactStore,
+    LocalDirStore,
+    SQLiteStore,
+    StoreCorrupt,
+    store_for,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "FabricConfig",
+    "LeaseQueue",
+    "LocalDirStore",
+    "ResultLedger",
+    "SQLiteStore",
+    "StoreCorrupt",
+    "store_for",
+    "unit_fingerprint",
+]

@@ -1,0 +1,50 @@
+"""Fabric configuration: the ``CampaignSpec.fabric`` fragment.
+
+Kept in its own module (not ``repro.api``) so the fabric package and the
+spec layer can both import it without a cycle: ``api`` imports
+:class:`FabricConfig`; ``fabric.coordinator`` imports ``api``.
+
+Fabric settings describe *how* a campaign is distributed, never *what* it
+computes — they are deliberately excluded from the campaign fingerprint,
+just like worker counts and cache paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Distribution settings for a fabric campaign.
+
+    ``store`` names the shared artifact store (a directory path, or
+    ``sqlite:PATH`` / ``*.db`` for the SQLite backend).  ``lease_ttl`` is
+    how long a claimed unit may go without a heartbeat before any other
+    participant may reclaim it; it bounds the stall after a SIGKILL.
+    ``lease_size`` is strategies per claimable unit — small units spread
+    better, large units amortize dispatch.  ``participate`` controls
+    whether the coordinator executes units itself while waiting on
+    workers (on by default so a fabric campaign completes even with zero
+    external workers).
+    """
+
+    store: str
+    lease_ttl: float = 30.0
+    lease_size: int = 4
+    poll_interval: float = 0.2
+    participate: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.store:
+            raise ValueError("fabric store must be a non-empty path")
+        if self.lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if self.lease_size < 1:
+            raise ValueError("lease_size must be >= 1")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)

@@ -1,0 +1,273 @@
+"""The fabric coordinator: one campaign, many crash-prone participants.
+
+``run_fabric_campaign`` is what :func:`repro.api.run_campaign` dispatches
+to when a spec carries a :class:`~repro.fabric.config.FabricConfig`.  It
+runs the ordinary single-process :class:`~repro.core.Controller` —
+baseline, generation, detection, classification and the checkpoint
+journal all stay exactly where they were — but plugs a distributed stage
+runner into the controller's ``stage_runner`` seam, so the sweep/confirm
+stages execute as leased units on a shared artifact store instead of a
+local-only worker pool:
+
+1. publish the campaign *manifest* (the spec plus its fingerprint) to the
+   store, which idle ``repro worker`` processes are polling for;
+2. fingerprint every pending strategy, serve what the shared cache or the
+   result ledger already has, shard the rest into ``lease_size`` units
+   and enqueue them;
+3. loop — collect freshly committed results from the ledger, execute
+   units itself like any other worker (``participate``), and reclaim
+   expired leases of crashed workers simply by claiming them;
+4. when every unit is done but a fingerprint still has no committed
+   result (a torn result record), reopen the owning unit and let the
+   loop re-dispatch it;
+5. mark the manifest complete (or failed) so workers drain and exit.
+
+Exactly-once accounting holds because only ledger commits are
+authoritative and only the coordinator turns ledger entries into journal
+lines / campaign outcomes: every fingerprint is collected exactly once,
+no matter how many workers executed it.
+
+One campaign per store at a time: a running manifest with a different
+spec fingerprint raises :class:`FabricMismatch` (a crashed coordinator's
+manifest with the *same* fingerprint is adopted and the campaign simply
+continues — the ledger already holds its progress).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api import CampaignSpec
+from repro.core.cache import RunCache, run_fingerprint
+from repro.core.controller import CampaignResult
+from repro.core.executor import RunOutcome
+from repro.core.parallel import WorkerPool
+from repro.core.strategy import Strategy
+from repro.fabric.ledger import ResultLedger
+from repro.fabric.leases import LeaseQueue, unit_fingerprint
+from repro.fabric.store import ArtifactStore, StoreCorrupt, store_for
+from repro.fabric.worker import (
+    KEY_MANIFEST,
+    MANIFEST_COMPLETE,
+    MANIFEST_FAILED,
+    MANIFEST_RUNNING,
+    NS_CAMPAIGN,
+    FabricWorker,
+    encode_strategy,
+)
+from repro.obs.bus import BUS
+from repro.obs.metrics import METRICS
+
+log = logging.getLogger("repro.fabric.coordinator")
+
+
+class FabricMismatch(ValueError):
+    """The store already hosts a running campaign with a different spec."""
+
+
+class _FabricStageRunner:
+    """The controller's ``stage_runner``: stage execution as leased units."""
+
+    def __init__(self, spec: CampaignSpec, store: ArtifactStore):
+        self.spec = spec
+        self.store = store
+        self.fabric = spec.fabric
+        assert self.fabric is not None
+        self.spec_fingerprint = spec.fingerprint()
+        self.queue = LeaseQueue(store, ttl=self.fabric.lease_ttl)
+        self.ledger = ResultLedger(store)
+        self.cache = RunCache(store)
+        self.agent = FabricWorker(
+            store,
+            workers=spec.workers,
+            obs=spec.obs,
+            poll_interval=self.fabric.poll_interval,
+            ledger=self.ledger,
+        )
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        stage: str,
+        strategies: List[Optional[Strategy]],
+        seed: Optional[int],
+        cache: Optional[RunCache],
+        pool: Optional[WorkerPool],
+        on_result: Callable[[int, RunOutcome], None],
+        progress: Callable[[int, int], None],
+    ) -> List[RunOutcome]:
+        total = len(strategies)
+        results: List[Optional[RunOutcome]] = [None] * total
+        done_count = 0
+
+        def finish(index: int, outcome: RunOutcome) -> None:
+            nonlocal done_count
+            results[index] = outcome
+            done_count += 1
+            on_result(index, outcome)
+            progress(done_count, total)
+
+        def restamped(index: int, outcome: RunOutcome) -> RunOutcome:
+            strategy = strategies[index]
+            outcome.strategy_id = strategy.strategy_id if strategy is not None else None
+            return outcome
+
+        # ---------------------------------------------------- pre-serve
+        fingerprints = [run_fingerprint(self.spec.testbed, s, seed) for s in strategies]
+        remaining: List[int] = []
+        for index in range(total):
+            if cache is not None:
+                hit = cache.get(fingerprints[index])
+                if hit is not None:
+                    finish(index, restamped(index, hit))
+                    continue
+            committed = self.ledger.fetch(stage, fingerprints[index])
+            if committed is not None:
+                finish(index, restamped(index, committed))
+                continue
+            remaining.append(index)
+        if not remaining:
+            return results  # type: ignore[return-value]
+
+        # ------------------------------------------------------ enqueue
+        size = self.fabric.lease_size
+        unit_members: Dict[str, List[int]] = {}
+        for lo in range(0, len(remaining), size):
+            members = remaining[lo : lo + size]
+            member_fps = [fingerprints[i] for i in members]
+            unit_id = unit_fingerprint(self.spec_fingerprint, stage, member_fps)
+            unit_members[unit_id] = members
+            self.queue.enqueue({
+                "unit_id": unit_id,
+                "stage": stage,
+                "seed": seed,
+                "slots": [
+                    {"fingerprint": fingerprints[i], "strategy": encode_strategy(strategies[i])}
+                    for i in members
+                ],
+            })
+        METRICS.inc("fabric.units.enqueued", len(unit_members))
+        BUS.emit("fabric.stage.sharded", stage=stage,
+                 units=len(unit_members), pending=len(remaining))
+        log.info("fabric: stage %s sharded into %d unit(s) of <=%d (%d pre-served)",
+                 stage, len(unit_members), size, total - len(remaining))
+
+        # ------------------------------------------------- drive to done
+        waiting = set(remaining)
+        while waiting:
+            progressed = False
+            for index in sorted(waiting):
+                outcome = self.ledger.fetch(stage, fingerprints[index])
+                if outcome is not None:
+                    waiting.discard(index)
+                    finish(index, restamped(index, outcome))
+                    progressed = True
+            if not waiting:
+                break
+            if self.fabric.participate:
+                if self.agent.run_one(self.spec, self.queue, self.cache, pool):
+                    continue  # executed a unit; collect its commits next pass
+            if progressed:
+                continue
+            # Nothing claimable and nothing new in the ledger.  If every
+            # unit owning a missing fingerprint is already done, its result
+            # record was lost (torn write): reopen the unit for re-dispatch.
+            states = self.queue.states()
+            reopened = False
+            for unit_id, members in unit_members.items():
+                missing = [i for i in members if i in waiting]
+                if not missing or states.get(unit_id) != "done":
+                    continue
+                if any(
+                    self.ledger.fetch(stage, fingerprints[i]) is None for i in missing
+                ):
+                    log.warning("fabric: unit %s done but %d result(s) missing; reopening",
+                                unit_id[:12], len(missing))
+                    self.queue.reopen(unit_id)
+                    reopened = True
+            if not reopened:
+                time.sleep(self.fabric.poll_interval)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Campaign-wide fabric counters for :attr:`CampaignResult.fabric`.
+
+        Lease reclaims are read back from the lease records themselves, so
+        reclaims performed by *other* participants (another worker picking
+        up a SIGKILLed one's unit) are counted too, not just local ones.
+        """
+        out = {f"leases_{name}": value for name, value in self.queue.counters.items()}
+        out["lease_reclaims"] = self.queue.reclaim_total()
+        out["commits"] = self.ledger.commits
+        out["commit_duplicates"] = self.ledger.duplicates
+        out["worker_units"] = self.agent.stats["units"]
+        out["worker_commit_duplicates"] = self.agent.stats["duplicates"]
+        return out
+
+
+def run_fabric_campaign(
+    spec: CampaignSpec, progress: Optional[Callable[[str, int, int], None]] = None
+) -> CampaignResult:
+    """Run one campaign distributed over a shared artifact store."""
+    fabric = spec.fabric
+    if fabric is None:
+        raise ValueError("spec has no fabric configuration")
+    store = store_for(fabric.store)
+    try:
+        spec_fp = spec.fingerprint()
+        try:
+            existing = store.get(NS_CAMPAIGN, KEY_MANIFEST)
+        except StoreCorrupt:
+            existing = None
+        if existing is not None and existing.get("status") == MANIFEST_RUNNING:
+            if existing.get("spec_fingerprint") != spec_fp:
+                raise FabricMismatch(
+                    f"store {fabric.store!r} already hosts a running campaign "
+                    f"(spec {existing.get('spec_fingerprint')!r}); one campaign "
+                    "per store at a time"
+                )
+            log.info("fabric: adopting running manifest for spec %s "
+                     "(previous coordinator gone?)", spec_fp[:12])
+        # the spec workers execute under: same computation, their own
+        # runtime — no journal, no private cache dir, no nested fabric
+        worker_spec = spec.with_overrides(
+            checkpoint=None, resume=False, cache_dir=None, obs=None, fabric=None
+        )
+        manifest: Dict[str, Any] = {
+            "spec": worker_spec.to_dict(),
+            "spec_fingerprint": spec_fp,
+            "status": MANIFEST_RUNNING,
+            "lease_ttl": fabric.lease_ttl,
+        }
+        store.put(NS_CAMPAIGN, KEY_MANIFEST, manifest)
+        BUS.emit("fabric.campaign.start", spec_fingerprint=spec_fp, store=fabric.store)
+
+        controller = spec.build_controller()
+        controller.cache = RunCache(store)
+        runner = _FabricStageRunner(spec, store)
+        controller.stage_runner = runner
+        try:
+            result = controller.run_campaign(progress=progress)
+        except BaseException:
+            manifest["status"] = MANIFEST_FAILED
+            store.put(NS_CAMPAIGN, KEY_MANIFEST, manifest)
+            raise
+        manifest["status"] = MANIFEST_COMPLETE
+        store.put(NS_CAMPAIGN, KEY_MANIFEST, manifest)
+        result.fabric = runner.counters()
+        # surface fabric counters beside the ordinary metric counters so
+        # `--metrics-out` consumers (and CI chaos assertions) see them
+        bucket = result.metrics.setdefault("counters", {})
+        for name, value in result.fabric.items():
+            bucket.setdefault(f"fabric.{name}", value)
+        BUS.emit("fabric.campaign.complete", spec_fingerprint=spec_fp,
+                 reclaims=result.fabric.get("lease_reclaims", 0))
+        return result
+    finally:
+        store.close()
+
+
+__all__ = ["FabricMismatch", "run_fabric_campaign"]

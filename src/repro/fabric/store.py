@@ -1,0 +1,447 @@
+"""Pluggable artifact store: the fabric's shared, crash-safe key/value disk.
+
+Everything the distributed campaign fabric shares between processes and
+hosts — run-cache entries, work-lease records, committed results, the
+campaign manifest — goes through one small interface,
+:class:`ArtifactStore`: namespaced JSON documents with three atomicity
+levels:
+
+* :meth:`ArtifactStore.put` — last-writer-wins, but *torn-write free*: a
+  reader sees either the old or the new complete document, never half.
+* :meth:`ArtifactStore.put_if_absent` — atomic create; exactly one of N
+  racing writers wins.  This is the exactly-once primitive the result
+  ledger is built on.
+* :meth:`ArtifactStore.update` — atomic read-modify-write of one key.
+  This is the lease-transition primitive: claim, renew, and reclaim are
+  all "read the lease, decide, write the successor" under the store's
+  per-key mutual exclusion.
+
+Two backends ship:
+
+* :class:`LocalDirStore` — sharded JSON files (``<root>/<ns>/<k[:2]>/<k>
+  .json``), atomic via ``tmp + rename`` / ``link`` and a per-key lockfile
+  for :meth:`~ArtifactStore.update`.  Safe for many processes on one
+  shared filesystem; this is also what the run cache has always been,
+  now refactored behind the interface.
+* :class:`SQLiteStore` — one WAL-mode SQLite database safe for concurrent
+  writers (``BEGIN IMMEDIATE`` + busy timeout).  One file to ship or
+  mount, transactional CAS for free.
+
+Crash safety over speed: both backends assume workers can be SIGKILLed at
+any instruction.  A crash mid-``put`` leaves the previous document; a
+crash while holding an ``update`` lockfile is healed by stale-lock
+breaking (and the fabric's ledger commits are idempotent, so even a
+double-applied transition cannot double-count a result).
+
+Fault hook (test/CI only): ``REPRO_TEST_FAULT=fabric-torn-write:<ns>``
+makes the *first* write into that namespace (per process) persist a
+truncated JSON document — simulating a torn write on a non-atomic
+filesystem — so recovery paths (corrupt-entry cleanup, lease reopen) can
+be exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: same env hook the supervisor uses; fabric faults are namespaced values
+FAULT_ENV = "REPRO_TEST_FAULT"
+
+#: namespaces already torn in this process (the fault fires once per ns)
+_TORN_NAMESPACES: set = set()
+
+
+class StoreCorrupt(ValueError):
+    """A stored document failed to parse (torn write, hand edit)."""
+
+
+def _maybe_tear(namespace: str, text: str) -> str:
+    """Apply the ``fabric-torn-write:<ns>`` fault to one serialized doc."""
+    spec = os.environ.get(FAULT_ENV, "")
+    mode, _, target = spec.partition(":")
+    if mode != "fabric-torn-write" or target != namespace:
+        return text
+    if namespace in _TORN_NAMESPACES:
+        return text
+    _TORN_NAMESPACES.add(namespace)
+    return text[: max(1, len(text) // 2)]
+
+
+class ArtifactStore(ABC):
+    """Namespaced JSON-document store shared by fabric participants."""
+
+    @abstractmethod
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        """The stored document, ``None`` if absent; :class:`StoreCorrupt`
+        if present but unparseable."""
+
+    @abstractmethod
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        """Atomically (re)write one document (last writer wins)."""
+
+    @abstractmethod
+    def put_if_absent(self, namespace: str, key: str, payload: Dict[str, Any]) -> bool:
+        """Atomically create; ``True`` iff this call created the document."""
+
+    @abstractmethod
+    def update(
+        self,
+        namespace: str,
+        key: str,
+        fn: Callable[[Optional[Dict[str, Any]]], Optional[Dict[str, Any]]],
+    ) -> Optional[Dict[str, Any]]:
+        """Atomic read-modify-write: ``fn(current) -> new | None``.
+
+        ``fn`` receives the current document (``None`` when absent *or*
+        corrupt — a torn lease record must stay claimable) and returns the
+        successor document, or ``None`` to leave the store untouched.
+        Returns whatever is in the store afterwards.  Exactly one of N
+        concurrent updates applies at a time, so ``fn`` can safely
+        implement compare-and-set transitions.
+        """
+
+    @abstractmethod
+    def delete(self, namespace: str, key: str) -> bool:
+        """Remove a document; ``True`` iff *this* call removed it.
+
+        Never raises on a missing document — two processes racing to clean
+        the same corrupt entry must both succeed, with exactly one of them
+        told it did the deleting.
+        """
+
+    @abstractmethod
+    def keys(self, namespace: str) -> List[str]:
+        """All keys in a namespace (sorted)."""
+
+    def count(self, namespace: str) -> int:
+        return len(self.keys(namespace))
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "ArtifactStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class LocalDirStore(ArtifactStore):
+    """Sharded one-JSON-file-per-document store on a (shared) filesystem.
+
+    ``put`` stages to a temp file and ``os.replace``s it into place;
+    ``put_if_absent`` publishes with ``os.link``, which fails atomically if
+    the key exists; ``update`` serializes writers per key with an
+    ``O_CREAT|O_EXCL`` lockfile.  A lockfile older than
+    ``stale_lock_seconds`` is presumed orphaned by a killed process and
+    broken — the critical sections here are single small-file operations,
+    so a healthy holder can never be that slow.
+    """
+
+    def __init__(self, root: str, stale_lock_seconds: float = 10.0,
+                 lock_timeout: float = 30.0):
+        self.root = root
+        self.stale_lock_seconds = stale_lock_seconds
+        self.lock_timeout = lock_timeout
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, namespace: str, key: str) -> str:
+        return os.path.join(self.root, namespace, key[:2], f"{key}.json")
+
+    def _write_atomic(self, path: str, namespace: str, payload: Dict[str, Any]) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        text = _maybe_tear(namespace, json.dumps(payload, sort_keys=True))
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(namespace, key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except FileNotFoundError:
+            return None
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreCorrupt(f"{path}: {exc}") from exc
+        if not isinstance(document, dict):
+            raise StoreCorrupt(f"{path}: expected a JSON object")
+        return document
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        self._write_atomic(self.path_for(namespace, key), namespace, payload)
+
+    def put_if_absent(self, namespace: str, key: str, payload: Dict[str, Any]) -> bool:
+        path = self.path_for(namespace, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        text = _maybe_tear(namespace, json.dumps(payload, sort_keys=True))
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            try:
+                os.link(tmp, path)  # atomic create: fails iff the key exists
+            except FileExistsError:
+                return False
+            return True
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    @contextmanager
+    def _key_lock(self, path: str) -> Iterator[None]:
+        lock = path + ".lock"
+        os.makedirs(os.path.dirname(lock), exist_ok=True)
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - os.stat(lock).st_mtime
+                except OSError:
+                    continue  # holder released between open and stat; retry
+                if age > self.stale_lock_seconds:
+                    # orphaned by a killed process: break it and retry
+                    try:
+                        os.unlink(lock)
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() > deadline:
+                    raise TimeoutError(f"could not acquire {lock}")
+                time.sleep(0.005)
+        try:
+            os.close(fd)
+            yield
+        finally:
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
+
+    def update(
+        self,
+        namespace: str,
+        key: str,
+        fn: Callable[[Optional[Dict[str, Any]]], Optional[Dict[str, Any]]],
+    ) -> Optional[Dict[str, Any]]:
+        path = self.path_for(namespace, key)
+        with self._key_lock(path):
+            try:
+                current = self.get(namespace, key)
+            except StoreCorrupt:
+                current = None  # torn record: let fn overwrite it
+            successor = fn(current)
+            if successor is None:
+                return current
+            self._write_atomic(path, namespace, successor)
+            return successor
+
+    def delete(self, namespace: str, key: str) -> bool:
+        try:
+            os.unlink(self.path_for(namespace, key))
+        except FileNotFoundError:
+            return False
+        except OSError:
+            return False
+        return True
+
+    def keys(self, namespace: str) -> List[str]:
+        ns_dir = os.path.join(self.root, namespace)
+        found: List[str] = []
+        if not os.path.isdir(ns_dir):
+            return found
+        for shard in os.listdir(ns_dir):
+            shard_dir = os.path.join(ns_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".json"):
+                    found.append(name[: -len(".json")])
+        return sorted(found)
+
+
+class SQLiteStore(ArtifactStore):
+    """One SQLite database as the shared store (safe for concurrent writers).
+
+    WAL journaling lets readers proceed under a writer; every write runs
+    inside ``BEGIN IMMEDIATE`` so rmw transitions serialize across
+    processes and hosts sharing the file, with ``busy_timeout`` absorbing
+    contention instead of raising.  A single connection serves the whole
+    process behind an internal lock (the heartbeat thread and the main
+    loop share it); connections must NOT be reused across ``fork()`` —
+    create the store in the process that uses it.
+    """
+
+    def __init__(self, path: str, timeout: float = 10.0):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            path, timeout=timeout, check_same_thread=False, isolation_level=None
+        )
+        with self._lock:
+            self._conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            # switching journal modes needs the database quiet; N workers
+            # opening the same store at once can contend even with the busy
+            # timeout, and WAL is a perf upgrade, not a correctness need —
+            # retry briefly, then proceed in the default rollback mode
+            for attempt in range(5):
+                try:
+                    self._conn.execute("PRAGMA journal_mode=WAL")
+                    break
+                except sqlite3.OperationalError:
+                    time.sleep(0.05 * (attempt + 1))
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS artifacts ("
+                " ns TEXT NOT NULL, key TEXT NOT NULL, payload TEXT NOT NULL,"
+                " version INTEGER NOT NULL DEFAULT 1, updated REAL NOT NULL,"
+                " PRIMARY KEY (ns, key))"
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode(namespace: str, key: str, text: str) -> Dict[str, Any]:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreCorrupt(f"{namespace}/{key}: {exc}") from exc
+        if not isinstance(document, dict):
+            raise StoreCorrupt(f"{namespace}/{key}: expected a JSON object")
+        return document
+
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM artifacts WHERE ns=? AND key=?",
+                (namespace, key),
+            ).fetchone()
+        if row is None:
+            return None
+        return self._decode(namespace, key, row[0])
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        text = _maybe_tear(namespace, json.dumps(payload, sort_keys=True))
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO artifacts (ns, key, payload, version, updated)"
+                " VALUES (?, ?, ?, 1, ?)"
+                " ON CONFLICT (ns, key) DO UPDATE SET payload=excluded.payload,"
+                " version=artifacts.version+1, updated=excluded.updated",
+                (namespace, key, text, time.time()),
+            )
+
+    def put_if_absent(self, namespace: str, key: str, payload: Dict[str, Any]) -> bool:
+        text = _maybe_tear(namespace, json.dumps(payload, sort_keys=True))
+        with self._lock:
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO artifacts (ns, key, payload, version, updated)"
+                " VALUES (?, ?, ?, 1, ?)",
+                (namespace, key, text, time.time()),
+            )
+            return cursor.rowcount == 1
+
+    def update(
+        self,
+        namespace: str,
+        key: str,
+        fn: Callable[[Optional[Dict[str, Any]]], Optional[Dict[str, Any]]],
+    ) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT payload FROM artifacts WHERE ns=? AND key=?",
+                    (namespace, key),
+                ).fetchone()
+                current: Optional[Dict[str, Any]] = None
+                if row is not None:
+                    try:
+                        current = self._decode(namespace, key, row[0])
+                    except StoreCorrupt:
+                        current = None  # torn record: let fn overwrite it
+                successor = fn(current)
+                if successor is None:
+                    self._conn.execute("ROLLBACK")
+                    return current
+                text = _maybe_tear(namespace, json.dumps(successor, sort_keys=True))
+                self._conn.execute(
+                    "INSERT INTO artifacts (ns, key, payload, version, updated)"
+                    " VALUES (?, ?, ?, 1, ?)"
+                    " ON CONFLICT (ns, key) DO UPDATE SET payload=excluded.payload,"
+                    " version=artifacts.version+1, updated=excluded.updated",
+                    (namespace, key, text, time.time()),
+                )
+                self._conn.execute("COMMIT")
+                return successor
+            except BaseException:
+                try:
+                    self._conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                raise
+
+    def delete(self, namespace: str, key: str) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM artifacts WHERE ns=? AND key=?", (namespace, key)
+            )
+            return cursor.rowcount > 0
+
+    def keys(self, namespace: str) -> List[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key FROM artifacts WHERE ns=? ORDER BY key", (namespace,)
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def count(self, namespace: str) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM artifacts WHERE ns=?", (namespace,)
+            ).fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def store_for(spec: str) -> ArtifactStore:
+    """Open the artifact store named by a CLI/spec string.
+
+    ``sqlite:PATH`` or a path ending in ``.db``/``.sqlite``/``.sqlite3``
+    opens a :class:`SQLiteStore`; anything else is a :class:`LocalDirStore`
+    directory.
+    """
+    if spec.startswith("sqlite:"):
+        return SQLiteStore(spec[len("sqlite:"):])
+    if spec.endswith((".db", ".sqlite", ".sqlite3")):
+        return SQLiteStore(spec)
+    return LocalDirStore(spec)

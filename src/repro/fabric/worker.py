@@ -1,0 +1,280 @@
+"""The fabric worker: a per-host agent that executes leased work units.
+
+``repro worker --store <path>`` starts one of these next to a shared
+artifact store.  It waits for a coordinator to publish the campaign
+manifest, then loops: claim a unit, heartbeat its lease from a background
+thread, execute the unit's strategies through the same batched runtime a
+single-process campaign uses (a :class:`SupervisedWorkerPool` per host
+when the spec asks for supervision), commit every outcome idempotently to
+the result ledger *as it arrives*, and mark the unit done.
+
+Crash semantics, in order of violence:
+
+* Worker SIGKILLed mid-unit — heartbeats stop, the lease expires after
+  ``lease_ttl``, any other participant reclaims the unit.  Outcomes the
+  dead worker already committed stay committed; the reclaimer's repeats
+  become counted duplicates.
+* Worker loses its lease but is still alive (a stall longer than the
+  TTL) — ``renew`` returns ``False``; the worker finishes the unit
+  anyway, because its commits are idempotent and work done is work done.
+* Worker dies between the last commit and ``complete`` — the reclaimed
+  unit re-executes against a warm shared cache and every commit is a
+  duplicate; accounting is unchanged.
+
+Fault hooks (test/CI only), via ``REPRO_TEST_FAULT``:
+
+* ``fabric-stale-lease`` — claim, then never heartbeat and sleep past the
+  TTL before executing, forcing a reclaim race on a live owner.
+* ``fabric-commit-crash:<k>`` — SIGKILL-style ``os._exit`` after ``k``
+  ledger commits, the "died after executing, before finishing the unit"
+  case.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket
+import threading
+import time
+import uuid
+from typing import Any, Dict, Optional
+
+from repro.api import CampaignSpec
+from repro.core.cache import RunCache
+from repro.core.executor import RunOutcome
+from repro.core.parallel import WorkerPool, run_strategies
+from repro.core.strategy import Strategy
+from repro.core.supervisor import SupervisedWorkerPool
+from repro.fabric.ledger import ResultLedger
+from repro.fabric.leases import LeaseQueue
+from repro.fabric.store import FAULT_ENV, ArtifactStore
+from repro.obs.bus import BUS
+from repro.obs.config import ObsConfig, configure_observability
+from repro.obs.metrics import METRICS
+
+log = logging.getLogger("repro.fabric.worker")
+
+NS_CAMPAIGN = "campaign"
+KEY_MANIFEST = "manifest"
+
+MANIFEST_RUNNING = "running"
+MANIFEST_COMPLETE = "complete"
+MANIFEST_FAILED = "failed"
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def decode_strategy(data: Optional[Dict[str, Any]]) -> Optional[Strategy]:
+    """Rebuild a unit-slot strategy (``None`` = baseline run)."""
+    if data is None:
+        return None
+    return Strategy(
+        strategy_id=data["strategy_id"],
+        protocol=data["protocol"],
+        kind=data["kind"],
+        state=data.get("state"),
+        packet_type=data.get("packet_type"),
+        action=data.get("action"),
+        params=data.get("params") or {},
+    )
+
+
+def encode_strategy(strategy: Optional[Strategy]) -> Optional[Dict[str, Any]]:
+    """Inverse of :func:`decode_strategy` (canonical form + id)."""
+    if strategy is None:
+        return None
+    form = strategy.canonical_form()
+    form["strategy_id"] = strategy.strategy_id
+    return form
+
+
+def _fault(mode: str) -> Optional[str]:
+    spec = os.environ.get(FAULT_ENV, "")
+    got, _, raw = spec.partition(":")
+    return raw if got == mode else None
+
+
+class FabricWorker:
+    """One per-host agent pulling leased units from a shared store."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        workers: Optional[int] = None,
+        obs: Optional[ObsConfig] = None,
+        poll_interval: float = 0.2,
+        worker_id: Optional[str] = None,
+        ledger: Optional[ResultLedger] = None,
+    ):
+        self.store = store
+        self.workers = workers
+        self.obs = obs
+        self.poll_interval = poll_interval
+        self.worker_id = worker_id or default_worker_id()
+        self.ledger = ledger if ledger is not None else ResultLedger(store)
+        self.stats: Dict[str, int] = {"units": 0, "runs": 0, "commits": 0, "duplicates": 0}
+        self._commits_until_crash: Optional[int] = None
+        raw = _fault("fabric-commit-crash")
+        if raw is not None:
+            self._commits_until_crash = max(1, int(raw))
+
+    # ------------------------------------------------------------------
+    def _manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            return self.store.get(NS_CAMPAIGN, KEY_MANIFEST)
+        except Exception:
+            return None
+
+    def _wait_for_manifest(self, timeout: Optional[float]) -> Optional[Dict[str, Any]]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            manifest = self._manifest()
+            if manifest is not None and manifest.get("status") == MANIFEST_RUNNING:
+                return manifest
+            if manifest is not None and manifest.get("status") in (
+                MANIFEST_COMPLETE,
+                MANIFEST_FAILED,
+            ):
+                return manifest
+            if deadline is not None and time.monotonic() > deadline:
+                return None
+            time.sleep(self.poll_interval)
+
+    # ------------------------------------------------------------------
+    def run_one(
+        self, spec: CampaignSpec, queue: LeaseQueue, cache: RunCache, pool: WorkerPool
+    ) -> bool:
+        """Claim and execute one unit; ``False`` when nothing was claimable."""
+        unit = queue.claim(self.worker_id)
+        if unit is None:
+            return False
+        unit_id = unit["unit_id"]
+        stage = unit["stage"]
+        seed = unit.get("seed")
+        slots = unit.get("slots", [])
+        strategies = [decode_strategy(slot.get("strategy")) for slot in slots]
+        fingerprints = [slot["fingerprint"] for slot in slots]
+        log.info("worker %s: unit %s (%d slot(s), stage=%s)",
+                 self.worker_id, unit_id[:12], len(slots), stage)
+        METRICS.inc("fabric.units.executed")
+        BUS.emit("fabric.unit.start", unit=unit_id, owner=self.worker_id, slots=len(slots))
+
+        stale = _fault("fabric-stale-lease") is not None
+        stop_heartbeat = threading.Event()
+
+        def heartbeat() -> None:
+            interval = max(queue.ttl / 3.0, 0.05)
+            while not stop_heartbeat.wait(interval):
+                if not queue.renew(unit_id, self.worker_id):
+                    log.warning("worker %s: lost lease on %s; finishing anyway "
+                                "(commits are idempotent)", self.worker_id, unit_id[:12])
+                    return
+
+        thread: Optional[threading.Thread] = None
+        if stale:
+            # never renew, and outlive the TTL so another participant
+            # reclaims a unit whose first owner is alive and working
+            time.sleep(queue.ttl * 1.5)
+        else:
+            thread = threading.Thread(target=heartbeat, daemon=True)
+            thread.start()
+
+        def commit(index: int, outcome: RunOutcome) -> None:
+            fresh = self.ledger.commit(stage, fingerprints[index], outcome)
+            self.stats["commits" if fresh else "duplicates"] += 1
+            if self._commits_until_crash is not None:
+                self._commits_until_crash -= 1
+                if self._commits_until_crash <= 0:
+                    os._exit(117)  # simulated death after executing, before completing
+
+        try:
+            run_strategies(
+                spec.testbed,
+                strategies,
+                seed=seed,
+                batch_size=spec.batch_size,
+                retries=spec.retry.retries,
+                retry_backoff=spec.retry.backoff,
+                on_result=commit,
+                obs=self.obs,
+                stage=stage,
+                cache=cache,
+                pool=pool,
+            )
+        finally:
+            stop_heartbeat.set()
+            if thread is not None:
+                thread.join(timeout=5.0)
+        queue.complete(unit_id, self.worker_id)
+        self.stats["units"] += 1
+        self.stats["runs"] += len(slots)
+        return True
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        once: bool = False,
+        idle_exit: Optional[float] = None,
+        manifest_timeout: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Serve units until the campaign ends (or ``once``/``idle_exit``).
+
+        ``idle_exit`` seconds with neither claimable work nor a running
+        campaign ends the loop — CI uses it so orphaned workers cannot
+        outlive their test.
+        """
+        manifest = self._wait_for_manifest(manifest_timeout)
+        if manifest is None or manifest.get("status") != MANIFEST_RUNNING:
+            log.info("worker %s: no running campaign manifest; exiting", self.worker_id)
+            return self.stats
+        spec = CampaignSpec.from_dict(manifest["spec"])
+        if self.obs is not None:
+            configure_observability(self.obs)
+        ttl = float(manifest.get("lease_ttl", 30.0))
+        queue = LeaseQueue(self.store, ttl=ttl)
+        cache = RunCache(self.store)
+        idle_since: Optional[float] = None
+        with self._make_pool(spec) as pool:
+            while True:
+                served = self.run_one(spec, queue, cache, pool)
+                if served:
+                    idle_since = None
+                    if once:
+                        return self.stats
+                    continue
+                manifest = self._manifest()
+                status = (manifest or {}).get("status")
+                if status in (MANIFEST_COMPLETE, MANIFEST_FAILED) or manifest is None:
+                    return self.stats
+                if once:
+                    return self.stats
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if idle_exit is not None and now - idle_since > idle_exit:
+                    log.info("worker %s: idle for %.1fs; exiting", self.worker_id, idle_exit)
+                    return self.stats
+                time.sleep(self.poll_interval)
+
+    def _make_pool(self, spec: CampaignSpec) -> WorkerPool:
+        if spec.supervision is not None and spec.supervision.enabled:
+            return SupervisedWorkerPool(
+                workers=self.workers, obs=self.obs, supervision=spec.supervision
+            )
+        return WorkerPool(workers=self.workers, obs=self.obs)
+
+
+__all__ = [
+    "KEY_MANIFEST",
+    "MANIFEST_COMPLETE",
+    "MANIFEST_FAILED",
+    "MANIFEST_RUNNING",
+    "NS_CAMPAIGN",
+    "FabricWorker",
+    "decode_strategy",
+    "default_worker_id",
+    "encode_strategy",
+]

@@ -142,6 +142,51 @@ class TestRunCache:
         cache.put("cd" * 16, _result())
         assert len(cache) == 2
 
+    def test_losing_the_corrupt_cleanup_race_is_quiet(self, tmp_path, metrics):
+        # two processes can race to delete the same corrupt entry; the one
+        # whose unlink comes second must neither crash nor double-count
+        cache = RunCache(str(tmp_path / "c"))
+        fp = run_fingerprint(TestbedConfig(), _strategy(1), 7)
+        cache.put(fp, _result())
+        with open(cache.path_for(fp), "w") as fh:
+            fh.write('{"fingerprint": "torn')
+        racer = RunCache(cache.store)  # same store, pre-deleted underneath
+        os.unlink(cache.path_for(fp))
+        assert racer.get(fp) is None  # raced: entry vanished mid-cleanup
+        snap = metrics.snapshot()["counters"]
+        assert snap["cache.misses"] == 1
+        assert "cache.corrupt" not in snap  # the other racer counts it
+
+    def test_concurrent_cleanup_counts_the_delete_once(self, tmp_path, metrics):
+        cache = RunCache(str(tmp_path / "c"))
+        fp = run_fingerprint(TestbedConfig(), _strategy(1), 7)
+        cache.put(fp, _result())
+        with open(cache.path_for(fp), "w") as fh:
+            fh.write('{"fingerprint": "torn')
+        racer = RunCache(cache.store)
+        assert cache.get(fp) is None and racer.get(fp) is None
+        snap = metrics.snapshot()["counters"]
+        assert snap["cache.corrupt"] == 1  # exactly one deleter takes credit
+        assert snap["cache.misses"] == 2
+
+    def test_cache_runs_on_a_sqlite_store(self, tmp_path, metrics):
+        from repro.fabric.store import SQLiteStore
+
+        with SQLiteStore(str(tmp_path / "cache.db")) as store:
+            cache = RunCache(store)
+            fp = run_fingerprint(TestbedConfig(), _strategy(1), 7)
+            assert cache.get(fp) is None
+            assert cache.put(fp, _result())
+            assert cache.get(fp) == _result(cached=True)
+            assert len(cache) == 1
+            with pytest.raises(TypeError):
+                cache.path_for(fp)  # rows have no filesystem path
+            # corrupt rows heal exactly like corrupt files
+            store.put(RunCache.NAMESPACE, fp, {"fingerprint": "bogus"})
+            assert cache.get(fp) is None
+            assert store.get(RunCache.NAMESPACE, fp) is None
+        assert metrics.snapshot()["counters"]["cache.corrupt"] == 1
+
 
 class TestCachedDispatch:
     CONFIG = TestbedConfig(protocol="tcp", variant="linux-3.13")

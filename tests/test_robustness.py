@@ -6,7 +6,13 @@ import pickle
 
 import pytest
 
-from repro.core.checkpoint import CheckpointJournal, JournalMismatch, decode_outcome, encode_outcome
+from repro.core.checkpoint import (
+    CheckpointJournal,
+    JournalCorrupt,
+    JournalMismatch,
+    decode_outcome,
+    encode_outcome,
+)
 from repro.core.controller import Controller
 from repro.core.executor import Executor, RunError, RunResult, TestbedConfig
 from repro.core.parallel import RetryPolicy, derive_seed, run_strategies
@@ -228,6 +234,43 @@ class TestCheckpointJournal:
         completed = CheckpointJournal(path).load({"protocol": "tcp"})
         assert list(completed) == [("sweep", 1)]
 
+    def _journal_with_outcomes(self, tmp_path, count=2):
+        path = str(tmp_path / "journal.jsonl")
+        journal = CheckpointJournal(path)
+        journal.open({"protocol": "tcp"})
+        for sid in range(1, count + 1):
+            journal.record("sweep", RunError(sid, "ValueError", "boom"))
+        journal.close()
+        return path
+
+    def test_midfile_corruption_is_an_error_not_a_skip(self, tmp_path):
+        # only the *final* line may be torn (a kill mid-append); garbage in
+        # the middle means the file was damaged some other way and silently
+        # skipping it would re-run and double-journal completed work
+        path = self._journal_with_outcomes(tmp_path, count=2)
+        lines = open(path).read().splitlines(True)
+        with open(path, "w") as fh:
+            fh.write(lines[0])
+            fh.write('{"stage": "sweep", "kind": "resu\n')  # line 2: torn
+            fh.writelines(lines[2:])  # ...but followed by intact lines
+        with pytest.raises(JournalCorrupt, match="line 2"):
+            CheckpointJournal(path).load({"protocol": "tcp"})
+        with pytest.raises(JournalCorrupt, match="line 2"):
+            CheckpointJournal(path).open({"protocol": "tcp"})
+
+    def test_open_discards_torn_tail_instead_of_recommitting_it(self, tmp_path):
+        path = self._journal_with_outcomes(tmp_path, count=1)
+        with open(path, "a") as fh:
+            fh.write('{"stage": "sweep", "kind": "resu')  # SIGKILL mid-write
+        journal = CheckpointJournal(path)
+        journal.open({"protocol": "tcp"})  # must drop the torn tail here
+        journal.record("sweep", RunError(2, "ValueError", "boom"))
+        journal.close()
+        # had open() kept the torn line, it would now sit mid-file and
+        # poison every future load
+        completed = CheckpointJournal(path).load({"protocol": "tcp"})
+        assert sorted(completed) == [("sweep", 1), ("sweep", 2)]
+
     def test_meta_mismatch_raises(self, tmp_path):
         path = str(tmp_path / "journal.jsonl")
         journal = CheckpointJournal(path)
@@ -367,3 +410,38 @@ class TestCliFlags:
         assert args.max_tasks_per_child == 50
         assert args.baseline_runs == 3
         assert args.noise_sigmas == 2.5
+
+    @pytest.mark.parametrize("argv", [
+        # supervisor tuning flags are meaningless with supervision off
+        ["campaign", "--no-supervision", "--slot-budget", "5"],
+        ["campaign", "--no-supervision", "--quarantine-after", "2"],
+        ["campaign", "--no-supervision", "--max-tasks-per-child", "10"],
+        # bare --resume names no journal to resume from
+        ["campaign", "--resume"],
+        ["campaign", "--resume", "a.jsonl", "--checkpoint", "b.jsonl"],
+        # fabric flags travel together
+        ["campaign", "--fabric"],
+        ["campaign", "--store", "s"],
+        ["campaign", "--lease-ttl", "5"],
+        ["campaign", "--lease-size", "2"],
+    ])
+    def test_contradictory_flag_combinations_rejected(self, argv, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert argv[1] in capsys.readouterr().err
+
+    def test_consistent_flag_combinations_accepted(self):
+        from repro.cli import _validate_campaign_flags, build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["campaign", "--resume", "--checkpoint", "j.jsonl"],
+            ["campaign", "--resume", "j.jsonl"],
+            ["campaign", "--no-supervision"],
+            ["campaign", "--slot-budget", "5"],
+            ["campaign", "--fabric", "--store", "s", "--lease-ttl", "5"],
+        ):
+            assert _validate_campaign_flags(parser.parse_args(argv)) is None, argv
