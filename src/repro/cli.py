@@ -4,6 +4,7 @@ Commands:
 
 * ``campaign``    — run a full SNAKE campaign against one implementation
 * ``worker``      — serve leased work units from a shared fabric store
+* ``top``         — live fleet view of a fabric campaign (from the store)
 * ``baseline``    — run and print the non-attack baseline metrics
 * ``report``      — inspect a recorded campaign's trace/metrics telemetry
 * ``searchspace`` — the Section VI-C injection-model comparison
@@ -38,6 +39,7 @@ from repro.core.reporting import (
     render_attack_clusters,
     render_campaign_health,
     render_flaky_detections,
+    render_fleet,
     render_metrics_summary,
     render_searchspace,
     render_slowest_runs,
@@ -213,6 +215,7 @@ def _validate_campaign_flags(args: argparse.Namespace) -> Optional[str]:
     if not args.fabric:
         for attr, flag in (
             ("store", "--store"), ("lease_ttl", "--lease-ttl"), ("lease_size", "--lease-size"),
+            ("telemetry_interval", "--telemetry-interval"), ("stall_window", "--stall-window"),
         ):
             if getattr(args, attr) is not None:
                 return f"{flag} has no effect without --fabric"
@@ -270,6 +273,10 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
                 store=args.store,
                 lease_ttl=args.lease_ttl if args.lease_ttl is not None else 30.0,
                 lease_size=args.lease_size if args.lease_size is not None else 4,
+                telemetry_interval=(
+                    args.telemetry_interval if args.telemetry_interval is not None else 1.0
+                ),
+                stall_window=args.stall_window if args.stall_window is not None else 15.0,
             )
         )
     return spec
@@ -361,6 +368,48 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet view of a fabric campaign (``repro top --store ...``).
+
+    Reads only the shared artifact store — no shared trace directory, no
+    connection to any worker — so it works from any host that can see the
+    store.  The refresh loop exits on its own once the campaign manifest
+    goes complete/failed; ``--once`` renders one frame for scripts and CI.
+    """
+    from repro.fabric.store import store_for
+    from repro.obs.fleet import FleetAggregator, fleet_overview
+
+    store = store_for(args.store)
+    try:
+        # one long-lived aggregator, so no-progress straggler detection
+        # works across refreshes (heartbeat stalls need only one frame)
+        aggregator = FleetAggregator(store, stall_window=args.stall_window)
+        while True:
+            overview = fleet_overview(
+                store, stall_window=args.stall_window, aggregator=aggregator
+            )
+            if args.json:
+                print(json.dumps(overview, sort_keys=True))
+            else:
+                if not args.once and sys.stdout.isatty():
+                    sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+                print(render_fleet(overview))
+            sys.stdout.flush()
+            if args.once:
+                return 0
+            status = (overview.get("manifest") or {}).get("status")
+            if status in ("complete", "failed"):
+                return 0
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+            if not sys.stdout.isatty() and not args.json:
+                print()
+    finally:
+        store.close()
+
+
 def _strategy_token(value: str) -> Optional[int]:
     """``--strategy`` value: a strategy id, or ``baseline`` (-> ``None``)
     for the non-attack baseline runs (which carry no strategy id)."""
@@ -370,12 +419,24 @@ def _strategy_token(value: str) -> Optional[int]:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    """Render a recorded campaign's telemetry (``repro report``)."""
-    try:
-        events = load_trace_dir(args.trace_dir)
-    except FileNotFoundError as exc:
-        sys.stderr.write(f"error: {exc}\n")
+    """Render a recorded campaign's telemetry (``repro report``).
+
+    Sources compose: a trace directory gives run spans/timelines, a
+    metrics snapshot gives the counter/histogram tables, and ``--store``
+    reads the fleet telemetry namespace of a fabric store directly (no
+    shared filesystem with the workers needed) — the merged cross-host
+    registry stands in for the metrics snapshot when none is given.
+    """
+    if not args.trace_dir and not args.store:
+        sys.stderr.write("error: report needs a TRACE_DIR and/or --store\n")
         return 2
+    events: List[dict] = []
+    if args.trace_dir:
+        try:
+            events = load_trace_dir(args.trace_dir)
+        except FileNotFoundError as exc:
+            sys.stderr.write(f"error: {exc}\n")
+            return 2
     snapshot = {}
     if args.metrics:
         try:
@@ -383,53 +444,88 @@ def cmd_report(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             sys.stderr.write(f"error: cannot read metrics snapshot: {exc}\n")
             return 2
+    overview = None
+    if args.store:
+        from repro.fabric.store import store_for
+        from repro.obs.fleet import FleetAggregator, fleet_overview
 
+        store = store_for(args.store)
+        try:
+            overview = fleet_overview(store)
+            if not snapshot:
+                # every participant publishes its cumulative registry, so
+                # the merge covers coordinator + every worker host
+                snapshot = FleetAggregator(store).merged_metrics(
+                    include_roles=("worker", "coordinator")
+                )
+        finally:
+            store.close()
+
+    if overview is not None:
+        print("Fleet")
+        print(render_fleet(overview))
+        print()
     runs = run_spans(events)
     print(render_throughput_summary(snapshot, runs))
-    print()
-    print("Slowest runs")
-    print(render_slowest_runs(runs, args.slowest))
 
-    if args.strategy is not None:
-        shown_ids: List[Optional[int]] = list(args.strategy)
-    else:
-        # default view: the baseline timeline (when traced) plus the first
-        # few strategies
-        shown_ids = [None] if has_baseline(events) else []
-        shown_ids += list(strategy_ids(events))[: args.timelines]
-    for sid in shown_ids:
+    if args.trace_dir:
         print()
-        print(render_strategy_timeline(sid, strategy_timeline(events, sid)))
+        print("Slowest runs")
+        print(render_slowest_runs(runs, args.slowest))
 
-    if args.strategy:
-        first = args.strategy[0]
-        transitions = (
-            transition_events(events, stage="baseline")
-            if first is None
-            else transition_events(events, first)
-        )
-    else:
-        transitions = transition_events(events)
-    print()
-    print("State-transition audit log")
-    print(render_transition_log(transitions, args.transitions))
+        if args.strategy is not None:
+            shown_ids: List[Optional[int]] = list(args.strategy)
+        else:
+            # default view: the baseline timeline (when traced) plus the
+            # first few strategies
+            shown_ids = [None] if has_baseline(events) else []
+            shown_ids += list(strategy_ids(events))[: args.timelines]
+        for sid in shown_ids:
+            print()
+            print(render_strategy_timeline(sid, strategy_timeline(events, sid)))
 
-    kills = supervisor_kills(events)
-    quarantines = quarantine_events(events)
-    if kills or quarantines:
+        if args.strategy:
+            first = args.strategy[0]
+            transitions = (
+                transition_events(events, stage="baseline")
+                if first is None
+                else transition_events(events, first)
+            )
+        else:
+            transitions = transition_events(events)
         print()
-        print("Supervision")
-        print(render_supervision_report(kills, quarantines))
+        print("State-transition audit log")
+        print(render_transition_log(transitions, args.transitions))
 
-    verdicts = confirm_verdicts(events)
-    if verdicts:
-        print()
-        print("Confirm verdicts")
-        print(render_verdicts(verdicts, baseline_stats(events)))
+        kills = supervisor_kills(events)
+        quarantines = quarantine_events(events)
+        if kills or quarantines:
+            print()
+            print("Supervision")
+            print(render_supervision_report(kills, quarantines))
+
+        verdicts = confirm_verdicts(events)
+        if verdicts:
+            print()
+            print("Confirm verdicts")
+            print(render_verdicts(verdicts, baseline_stats(events)))
 
     if snapshot:
         print()
         print(render_metrics_summary(snapshot))
+
+    if args.export_prom:
+        from repro.obs.fleet import prometheus_text
+
+        if not snapshot:
+            sys.stderr.write(
+                "error: --export-prom needs metrics (a METRICS snapshot "
+                "or --store with telemetry)\n"
+            )
+            return 2
+        with open(args.export_prom, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(snapshot))
+        sys.stderr.write(f"prometheus metrics written to {args.export_prom}\n")
     return 0
 
 
@@ -537,6 +633,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "before other workers may reclaim it (default 30)")
     sub.add_argument("--lease-size", type=_positive_int, default=None,
                      help="strategies per claimable work unit (default 4)")
+    sub.add_argument("--telemetry-interval", type=_nonnegative_float, default=None,
+                     help="seconds between fleet status publishes per participant "
+                          "(default 1; 0 disables the telemetry plane; with --fabric)")
+    sub.add_argument("--stall-window", type=_positive_float, default=None,
+                     help="no heartbeat or no unit progress for this many seconds "
+                          "flags a worker as a straggler (default 15; with --fabric)")
     sub.set_defaults(handler=cmd_campaign, parser=sub)
 
     sub = subparsers.add_parser(
@@ -569,10 +671,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(handler=cmd_worker)
 
     sub = subparsers.add_parser(
+        "top",
+        help="live fleet view of a fabric campaign",
+        description="Tails the telemetry namespace of a shared fabric store "
+                    "and renders workers (heartbeat age, progress, events/sec, "
+                    "stragglers), lease states, per-stage completion and an "
+                    "ETA.  Exits when the campaign manifest goes "
+                    "complete/failed.",
+    )
+    sub.add_argument("--store", metavar="STORE", required=True,
+                     help="shared artifact store: a directory, or sqlite:PATH / "
+                          "*.db for the SQLite backend")
+    sub.add_argument("--interval", type=_positive_float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    sub.add_argument("--once", action="store_true",
+                     help="render one frame and exit (for scripts and CI)")
+    sub.add_argument("--json", action="store_true",
+                     help="emit the overview as one JSON document per frame")
+    sub.add_argument("--stall-window", type=_positive_float, default=15.0,
+                     help="heartbeat/progress staleness that marks a worker "
+                          "as a straggler (default 15)")
+    sub.set_defaults(handler=cmd_top)
+
+    sub = subparsers.add_parser(
         "report", help="inspect a recorded campaign's telemetry"
     )
-    sub.add_argument("trace_dir", metavar="TRACE_DIR",
-                     help="trace directory written by campaign --trace-dir")
+    sub.add_argument("trace_dir", metavar="TRACE_DIR", nargs="?", default=None,
+                     help="trace directory written by campaign --trace-dir "
+                          "(optional with --store)")
     sub.add_argument("metrics", metavar="METRICS", nargs="?", default=None,
                      help="metrics snapshot written by campaign --metrics-out")
     sub.add_argument("--strategy", type=_strategy_token, action="append", default=None,
@@ -585,6 +711,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="without --strategy: how many strategy timelines to show")
     sub.add_argument("--transitions", type=int, default=40,
                      help="max rows in the state-transition audit log")
+    sub.add_argument("--store", metavar="STORE", default=None,
+                     help="also read fleet telemetry from this fabric store "
+                          "(merged cross-host metrics stand in for METRICS "
+                          "when no snapshot file is given)")
+    sub.add_argument("--export-prom", metavar="FILE", default=None,
+                     help="write the metrics snapshot in Prometheus text "
+                          "exposition format to FILE")
     sub.set_defaults(handler=cmd_report)
 
     sub = subparsers.add_parser("searchspace", help="Section VI-C comparison")

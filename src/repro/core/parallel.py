@@ -60,7 +60,7 @@ from repro.core.executor import Executor, RunError, RunOutcome, RunResult, Testb
 from repro.core.strategy import Strategy
 from repro.obs.bus import BUS
 from repro.obs.config import ObsConfig, configure_observability
-from repro.obs.metrics import BATCH_BUCKETS, METRICS
+from repro.obs.metrics import BATCH_BUCKETS, METRICS, merge_snapshots
 from repro.obs.profiling import profile_run
 
 log = logging.getLogger("repro.core.parallel")
@@ -213,14 +213,41 @@ def _execute_single(
     return outcome, delta
 
 
+def fold_batch_latency(
+    delta: Optional[Dict[str, Any]], elapsed: float
+) -> Optional[Dict[str, Any]]:
+    """Observe one batch's wall time as ``dispatch.latency_seconds`` and
+    fold the observation into the batch's final metrics delta.
+
+    Runs right after the last slot's ``snapshot_and_reset``, so the
+    registry contribution is exactly this one histogram sample; merging it
+    into the last reply's delta ships it to the parent over the existing
+    per-slot channel — no protocol change, and every execution path
+    (serial, fork pool, supervised pool) reports the same metric.
+    """
+    if not METRICS.enabled:
+        return delta
+    METRICS.histogram("dispatch.latency_seconds").observe(elapsed)
+    extra = METRICS.snapshot_and_reset()
+    if delta is None:
+        return extra
+    return merge_snapshots((delta, extra))
+
+
 def _execute_batch(batch: WorkBatch) -> List[SlotReply]:
     """Top-level worker function: run one batch serially (picklable,
     never raises)."""
     (config, seed, policy, obs_cfg, stage), slots = batch
     replies: List[SlotReply] = []
+    batch_t0 = time.perf_counter()
     for index, strategy in slots:
         outcome, delta = _execute_single(config, strategy, seed, policy, obs_cfg, stage)
         replies.append((index, outcome, delta))
+    if replies:
+        index, outcome, delta = replies[-1]
+        replies[-1] = (
+            index, outcome, fold_batch_latency(delta, time.perf_counter() - batch_t0)
+        )
     return replies
 
 

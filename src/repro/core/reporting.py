@@ -133,6 +133,20 @@ def render_campaign_health(result: CampaignResult) -> str:
             "  fabric: "
             + " ".join(f"{key}={value}" for key, value in sorted(result.fabric.items()))
         )
+    histograms = (result.metrics or {}).get("histograms", {})
+    for label, name in (
+        ("run wall seconds", "run.wall_seconds"),
+        ("dispatch latency", "dispatch.latency_seconds"),
+    ):
+        data = histograms.get(name)
+        if data and data.get("count"):
+            lines.append(
+                f"  {label}: "
+                f"p50={histogram_percentile(data, 0.50):.3f}s "
+                f"p95={histogram_percentile(data, 0.95):.3f}s "
+                f"p99={histogram_percentile(data, 0.99):.3f}s "
+                f"(n={data['count']:,})"
+            )
     for error in result.errors:
         label = "timeout" if error.timed_out else error.error_type
         lines.append(
@@ -207,11 +221,21 @@ def render_throughput_summary(
             f"mean={histogram_mean(wall):.3f} "
             f"p50={histogram_percentile(wall, 0.50):.3f} "
             f"p90={histogram_percentile(wall, 0.90):.3f} "
+            f"p95={histogram_percentile(wall, 0.95):.3f} "
             f"p99={histogram_percentile(wall, 0.99):.3f} "
             f"max={wall.get('max') or 0:.3f}"
         )
         if wall.get("sum") and events:
             lines.append(f"  aggregate events/sec {events / wall['sum']:,.0f}")
+    latency = histograms.get("dispatch.latency_seconds")
+    if latency and latency.get("count"):
+        lines.append(
+            "  dispatch latency     "
+            f"mean={histogram_mean(latency):.4f} "
+            f"p50={histogram_percentile(latency, 0.50):.4f} "
+            f"p95={histogram_percentile(latency, 0.95):.4f} "
+            f"p99={histogram_percentile(latency, 0.99):.4f}"
+        )
     rate = histograms.get("sim.events_per_sec")
     if rate and rate.get("count"):
         lines.append(
@@ -409,3 +433,62 @@ def render_transition_log(
     if omitted > 0:
         table += f"\n  ... {omitted} more transition(s); use --transitions to raise the cap"
     return table
+
+
+# ----------------------------------------------------------------------
+# fleet telemetry (the ``repro top`` / ``repro report --store`` section)
+# ----------------------------------------------------------------------
+def render_fleet(overview: Mapping[str, Any]) -> str:
+    """One frame of the live fleet view, from a :func:`fleet_overview` dict.
+
+    Campaign line, per-participant table (heartbeat age, progress,
+    events/sec, straggler flag), lease-state counts, per-stage
+    completion, fleet events/sec and the ETA.
+    """
+    lines: List[str] = []
+    manifest = overview.get("manifest")
+    if manifest:
+        fingerprint = str(manifest.get("spec_fingerprint") or "?")[:12]
+        lines.append(f"Campaign {fingerprint}  status={manifest.get('status', '?')}")
+    else:
+        lines.append("Campaign (no manifest in store)")
+    workers = overview.get("workers") or []
+    if workers:
+        headers = ("Participant", "Host", "Role", "Phase", "HB Age",
+                   "Units", "Commits", "Dups", "Events/s", "Stalled")
+        rows: List[List[object]] = [
+            [
+                str(worker.get("worker_id", "?"))[:32],
+                worker.get("host", "?"),
+                worker.get("role", "?"),
+                worker.get("phase", "?"),
+                f"{worker.get('heartbeat_age', 0.0):.1f}s",
+                worker.get("units_done", 0),
+                worker.get("commits", 0),
+                worker.get("duplicates", 0),
+                f"{worker.get('events_per_sec', 0.0):,.0f}",
+                worker.get("straggler_reason") or "-",
+            ]
+            for worker in workers
+        ]
+        lines.append(_render_table(headers, rows))
+    else:
+        lines.append("(no participant status records in the telemetry namespace)")
+    leases = overview.get("leases") or {}
+    if leases.get("total"):
+        lines.append(
+            f"  leases: pending={leases.get('pending', 0)} "
+            f"leased={leases.get('leased', 0)} "
+            f"done={leases.get('done', 0)}/{leases.get('total', 0)} "
+            f"reclaims={leases.get('reclaims', 0)}"
+        )
+        for stage, bucket in sorted((leases.get("stages") or {}).items()):
+            lines.append(
+                f"  stage {stage}: {bucket.get('done', 0)}/{bucket.get('total', 0)} units"
+            )
+    summary = f"  fleet events/sec: {overview.get('events_per_sec', 0.0):,.0f}"
+    eta = overview.get("eta_seconds")
+    if eta is not None:
+        summary += f"   eta: {eta:,.0f}s"
+    lines.append(summary)
+    return "\n".join(lines)

@@ -66,6 +66,7 @@ from repro.core.parallel import (
     _execute_single,
     _worker_init,
     default_worker_count,
+    fold_batch_latency,
 )
 from repro.obs.bus import BUS
 from repro.obs.config import ObsConfig
@@ -171,10 +172,13 @@ def _supervised_worker(
         if task is None:
             return
         (config, seed, policy, obs, stage), slots = task
-        for index, strategy in slots:
+        batch_t0 = time.perf_counter()
+        for position, (index, strategy) in enumerate(slots):
             conn.send(("start", index))
             _maybe_inject_fault(strategy.strategy_id if strategy is not None else None)
             outcome, delta = _execute_single(config, strategy, seed, policy, obs, stage)
+            if position == len(slots) - 1:
+                delta = fold_batch_latency(delta, time.perf_counter() - batch_t0)
             conn.send(("reply", (index, outcome, delta)))
             tasks_done += 1
         retiring = max_tasks is not None and tasks_done >= max_tasks

@@ -18,14 +18,19 @@ from repro.fabric.config import FabricConfig
 from repro.fabric.ledger import ResultLedger
 from repro.fabric.leases import LeaseQueue, unit_fingerprint
 from repro.fabric.store import (
+    NS_TELEMETRY,
     ArtifactStore,
     LocalDirStore,
     SQLiteStore,
     StoreCorrupt,
+    clear_statuses,
+    load_statuses,
+    publish_status,
     store_for,
 )
 
 __all__ = [
+    "NS_TELEMETRY",
     "ArtifactStore",
     "FabricConfig",
     "LeaseQueue",
@@ -33,6 +38,9 @@ __all__ = [
     "ResultLedger",
     "SQLiteStore",
     "StoreCorrupt",
+    "clear_statuses",
+    "load_statuses",
+    "publish_status",
     "store_for",
     "unit_fingerprint",
 ]

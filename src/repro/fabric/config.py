@@ -28,6 +28,13 @@ class FabricConfig:
     whether the coordinator executes units itself while waiting on
     workers (on by default so a fabric campaign completes even with zero
     external workers).
+
+    ``telemetry_interval`` is how often each participant publishes its
+    status record into the store's ``telemetry`` namespace (seconds;
+    ``0`` disables the fleet telemetry plane entirely), and
+    ``stall_window`` is how long a participant may go without a heartbeat
+    — or without unit progress while executing — before the aggregator
+    flags it as a straggler (``fleet.straggler`` event + counter).
     """
 
     store: str
@@ -35,6 +42,8 @@ class FabricConfig:
     lease_size: int = 4
     poll_interval: float = 0.2
     participate: bool = True
+    telemetry_interval: float = 1.0
+    stall_window: float = 15.0
 
     def __post_init__(self) -> None:
         if not self.store:
@@ -45,6 +54,10 @@ class FabricConfig:
             raise ValueError("lease_size must be >= 1")
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.telemetry_interval < 0:
+            raise ValueError("telemetry_interval must be >= 0 (0 disables telemetry)")
+        if self.stall_window <= 0:
+            raise ValueError("stall_window must be positive")
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

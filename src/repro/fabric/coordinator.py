@@ -39,6 +39,8 @@ import logging
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+import dataclasses
+
 from repro.api import CampaignSpec
 from repro.core.cache import RunCache, run_fingerprint
 from repro.core.controller import CampaignResult
@@ -47,7 +49,7 @@ from repro.core.parallel import WorkerPool
 from repro.core.strategy import Strategy
 from repro.fabric.ledger import ResultLedger
 from repro.fabric.leases import LeaseQueue, unit_fingerprint
-from repro.fabric.store import ArtifactStore, StoreCorrupt, store_for
+from repro.fabric.store import ArtifactStore, StoreCorrupt, clear_statuses, store_for
 from repro.fabric.worker import (
     KEY_MANIFEST,
     MANIFEST_COMPLETE,
@@ -58,7 +60,16 @@ from repro.fabric.worker import (
     encode_strategy,
 )
 from repro.obs.bus import BUS
-from repro.obs.metrics import METRICS
+from repro.obs.config import ObsConfig
+from repro.obs.fleet import (
+    PHASE_COORDINATING,
+    PHASE_EXITED,
+    ROLE_COORDINATOR,
+    ROLE_WORKER,
+    FleetAggregator,
+    FleetPublisher,
+)
+from repro.obs.metrics import METRICS, merge_snapshots
 
 log = logging.getLogger("repro.fabric.coordinator")
 
@@ -86,6 +97,36 @@ class _FabricStageRunner:
             poll_interval=self.fabric.poll_interval,
             ledger=self.ledger,
         )
+        # fleet telemetry plane: the coordinator publishes its own status
+        # (role=coordinator, so the worker-metrics fold never double-counts
+        # it) and aggregates everyone else's
+        self.aggregator: Optional[FleetAggregator] = None
+        self._last_poll = 0.0
+        if self.fabric.telemetry_interval > 0:
+            self.aggregator = FleetAggregator(
+                store,
+                stall_window=self.fabric.stall_window,
+                spec_fingerprint=self.spec_fingerprint,
+            )
+            self.agent.fleet = FleetPublisher(
+                store,
+                self.agent.worker_id,
+                role=ROLE_COORDINATOR,
+                interval=self.fabric.telemetry_interval,
+                spec_fingerprint=self.spec_fingerprint,
+            )
+
+    def _telemetry_tick(self) -> None:
+        """Publish the coordinator's status and run one aggregation pass
+        (both internally rate-limited to the telemetry interval)."""
+        if self.aggregator is None:
+            return
+        if self.agent.fleet is not None:
+            self.agent.fleet.publish(PHASE_COORDINATING, stats=self.agent.stats)
+        now = time.monotonic()
+        if now - self._last_poll >= max(self.fabric.telemetry_interval, 0.25):
+            self._last_poll = now
+            self.aggregator.poll()
 
     # ------------------------------------------------------------------
     def __call__(
@@ -157,6 +198,7 @@ class _FabricStageRunner:
         # ------------------------------------------------- drive to done
         waiting = set(remaining)
         while waiting:
+            self._telemetry_tick()
             progressed = False
             for index in sorted(waiting):
                 outcome = self.ledger.fetch(stage, fingerprints[index])
@@ -205,6 +247,12 @@ class _FabricStageRunner:
         out["commit_duplicates"] = self.ledger.duplicates
         out["worker_units"] = self.agent.stats["units"]
         out["worker_commit_duplicates"] = self.agent.stats["duplicates"]
+        if self.aggregator is not None:
+            records = self.aggregator.statuses()
+            out["telemetry_workers"] = sum(
+                1 for r in records.values() if r.get("role") == ROLE_WORKER
+            )
+            out["stragglers"] = self.aggregator.stragglers_flagged
         return out
 
 
@@ -215,6 +263,12 @@ def run_fabric_campaign(
     fabric = spec.fabric
     if fabric is None:
         raise ValueError("spec has no fabric configuration")
+    if fabric.telemetry_interval > 0:
+        # the fleet plane needs the metrics registry even when the user
+        # asked for no tracing; obs is fingerprint-neutral, so this is safe
+        obs = spec.obs or ObsConfig()
+        if not obs.metrics:
+            spec = spec.with_overrides(obs=dataclasses.replace(obs, metrics=True))
     store = store_for(fabric.store)
     try:
         spec_fp = spec.fingerprint()
@@ -222,6 +276,7 @@ def run_fabric_campaign(
             existing = store.get(NS_CAMPAIGN, KEY_MANIFEST)
         except StoreCorrupt:
             existing = None
+        adopted = False
         if existing is not None and existing.get("status") == MANIFEST_RUNNING:
             if existing.get("spec_fingerprint") != spec_fp:
                 raise FabricMismatch(
@@ -229,8 +284,14 @@ def run_fabric_campaign(
                     f"(spec {existing.get('spec_fingerprint')!r}); one campaign "
                     "per store at a time"
                 )
+            adopted = True
             log.info("fabric: adopting running manifest for spec %s "
                      "(previous coordinator gone?)", spec_fp[:12])
+        if not adopted:
+            # a fresh campaign starts with a clean fleet view — stale
+            # status records from the previous tenant would read as
+            # long-dead stragglers
+            clear_statuses(store)
         # the spec workers execute under: same computation, their own
         # runtime — no journal, no private cache dir, no nested fabric
         worker_spec = spec.with_overrides(
@@ -241,7 +302,12 @@ def run_fabric_campaign(
             "spec_fingerprint": spec_fp,
             "status": MANIFEST_RUNNING,
             "lease_ttl": fabric.lease_ttl,
+            "telemetry_interval": fabric.telemetry_interval,
+            "stall_window": fabric.stall_window,
+            "created_at": time.time(),
         }
+        if adopted and existing is not None and existing.get("created_at") is not None:
+            manifest["created_at"] = existing["created_at"]  # keep ETA honest
         store.put(NS_CAMPAIGN, KEY_MANIFEST, manifest)
         BUS.emit("fabric.campaign.start", spec_fingerprint=spec_fp, store=fabric.store)
 
@@ -257,6 +323,31 @@ def run_fabric_campaign(
             raise
         manifest["status"] = MANIFEST_COMPLETE
         store.put(NS_CAMPAIGN, KEY_MANIFEST, manifest)
+        if runner.aggregator is not None:
+            # final aggregation pass, then fold every worker host's
+            # cumulative registry into the campaign metrics: counters add,
+            # gauges max, histograms add bucket-wise — the health table and
+            # `repro report` now describe the whole fleet
+            runner.aggregator.poll()
+            fleet_metrics = runner.aggregator.merged_metrics(
+                include_roles=(ROLE_WORKER,)
+            )
+            if fleet_metrics:
+                result.metrics = merge_snapshots(
+                    s for s in (result.metrics, fleet_metrics) if s
+                )
+            per_worker = result.metrics.setdefault("counters", {})
+            for worker_id, record in sorted(runner.aggregator.statuses().items()):
+                if record.get("role") != ROLE_WORKER:
+                    continue
+                per_worker.setdefault(
+                    f"fleet.worker.{worker_id}.commits",
+                    int(record.get("commits", 0)) + int(record.get("duplicates", 0)),
+                )
+            if runner.agent.fleet is not None:
+                runner.agent.fleet.publish(
+                    PHASE_EXITED, stats=runner.agent.stats, force=True
+                )
         result.fabric = runner.counters()
         # surface fabric counters beside the ordinary metric counters so
         # `--metrics-out` consumers (and CI chaos assertions) see them

@@ -433,6 +433,46 @@ class SQLiteStore(ArtifactStore):
             self._conn.close()
 
 
+# ----------------------------------------------------------------------
+# telemetry namespace: the fleet telemetry plane's mailbox
+# ----------------------------------------------------------------------
+#: worker/coordinator status records published by :mod:`repro.obs.fleet`;
+#: one document per participant, keyed by worker id, last-writer-wins
+NS_TELEMETRY = "telemetry"
+
+
+def publish_status(store: ArtifactStore, worker_id: str, record: Dict[str, Any]) -> None:
+    """Publish one participant's status record (atomic on both backends)."""
+    store.put(NS_TELEMETRY, worker_id, record)
+
+
+def load_statuses(store: ArtifactStore) -> Dict[str, Dict[str, Any]]:
+    """All readable status records, keyed by worker id.
+
+    A torn record (the publisher was killed mid-``put`` on a non-atomic
+    filesystem) is skipped, not fatal — the next heartbeat overwrites it.
+    """
+    statuses: Dict[str, Dict[str, Any]] = {}
+    for worker_id in store.keys(NS_TELEMETRY):
+        try:
+            record = store.get(NS_TELEMETRY, worker_id)
+        except StoreCorrupt:
+            continue
+        if record is not None:
+            statuses[worker_id] = record
+    return statuses
+
+
+def clear_statuses(store: ArtifactStore) -> int:
+    """Drop every status record (a fresh campaign starts with a clean fleet
+    view); returns how many were removed."""
+    removed = 0
+    for worker_id in store.keys(NS_TELEMETRY):
+        if store.delete(NS_TELEMETRY, worker_id):
+            removed += 1
+    return removed
+
+
 def store_for(spec: str) -> ArtifactStore:
     """Open the artifact store named by a CLI/spec string.
 

@@ -32,6 +32,7 @@ Fault hooks (test/CI only), via ``REPRO_TEST_FAULT``:
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import os
 import socket
@@ -51,6 +52,12 @@ from repro.fabric.leases import LeaseQueue
 from repro.fabric.store import FAULT_ENV, ArtifactStore
 from repro.obs.bus import BUS
 from repro.obs.config import ObsConfig, configure_observability
+from repro.obs.fleet import (
+    PHASE_EXECUTING,
+    PHASE_EXITED,
+    PHASE_IDLE,
+    FleetPublisher,
+)
 from repro.obs.metrics import METRICS
 
 log = logging.getLogger("repro.fabric.worker")
@@ -116,10 +123,48 @@ class FabricWorker:
         self.worker_id = worker_id or default_worker_id()
         self.ledger = ledger if ledger is not None else ResultLedger(store)
         self.stats: Dict[str, int] = {"units": 0, "runs": 0, "commits": 0, "duplicates": 0}
+        #: fleet-telemetry publisher; attached by :meth:`enable_telemetry`
+        #: (the interval comes from the campaign manifest)
+        self.fleet: Optional[FleetPublisher] = None
         self._commits_until_crash: Optional[int] = None
         raw = _fault("fabric-commit-crash")
         if raw is not None:
             self._commits_until_crash = max(1, int(raw))
+
+    # ------------------------------------------------------------------
+    def enable_telemetry(self, interval: float, spec_fingerprint: Optional[str]) -> None:
+        """Attach a fleet publisher and force the metrics registry on.
+
+        The coordinator strips ``obs`` from the worker spec (workers own
+        their runtime), so a telemetry-carrying worker must self-enable
+        metrics — the status record's events/sec and cross-host registry
+        fold are empty otherwise.
+        """
+        if interval <= 0:
+            return
+        if self.obs is None:
+            self.obs = ObsConfig(metrics=True)
+        elif not self.obs.metrics:
+            self.obs = dataclasses.replace(self.obs, metrics=True)
+        self.fleet = FleetPublisher(
+            self.store,
+            self.worker_id,
+            role="worker",
+            interval=interval,
+            spec_fingerprint=spec_fingerprint,
+        )
+
+    def _publish(
+        self,
+        phase: str,
+        unit: Optional[str] = None,
+        stage: Optional[str] = None,
+        force: bool = False,
+    ) -> None:
+        if self.fleet is not None:
+            self.fleet.publish(
+                phase, unit=unit, stage=stage, stats=self.stats, force=force
+            )
 
     # ------------------------------------------------------------------
     def _manifest(self) -> Optional[Dict[str, Any]]:
@@ -161,17 +206,30 @@ class FabricWorker:
                  self.worker_id, unit_id[:12], len(slots), stage)
         METRICS.inc("fabric.units.executed")
         BUS.emit("fabric.unit.start", unit=unit_id, owner=self.worker_id, slots=len(slots))
+        self._publish(PHASE_EXECUTING, unit=unit_id, stage=stage, force=True)
 
         stale = _fault("fabric-stale-lease") is not None
         stop_heartbeat = threading.Event()
 
         def heartbeat() -> None:
-            interval = max(queue.ttl / 3.0, 0.05)
-            while not stop_heartbeat.wait(interval):
-                if not queue.renew(unit_id, self.worker_id):
-                    log.warning("worker %s: lost lease on %s; finishing anyway "
-                                "(commits are idempotent)", self.worker_id, unit_id[:12])
-                    return
+            renew_interval = max(queue.ttl / 3.0, 0.05)
+            wake = renew_interval
+            if self.fleet is not None:
+                # wake at telemetry cadence too, not just lease cadence — a
+                # long-running unit must not look stalled between commits
+                wake = min(wake, max(self.fleet.interval, 0.05))
+            renewing = True
+            next_renew = time.monotonic() + renew_interval
+            while not stop_heartbeat.wait(wake):
+                self._publish(PHASE_EXECUTING, unit=unit_id, stage=stage)
+                if renewing and time.monotonic() >= next_renew:
+                    next_renew = time.monotonic() + renew_interval
+                    if not queue.renew(unit_id, self.worker_id):
+                        log.warning("worker %s: lost lease on %s; finishing anyway "
+                                    "(commits are idempotent)", self.worker_id, unit_id[:12])
+                        renewing = False
+                        if self.fleet is None:
+                            return
 
         thread: Optional[threading.Thread] = None
         if stale:
@@ -189,6 +247,7 @@ class FabricWorker:
                 self._commits_until_crash -= 1
                 if self._commits_until_crash <= 0:
                     os._exit(117)  # simulated death after executing, before completing
+            self._publish(PHASE_EXECUTING, unit=unit_id, stage=stage)
 
         try:
             run_strategies(
@@ -211,6 +270,9 @@ class FabricWorker:
         queue.complete(unit_id, self.worker_id)
         self.stats["units"] += 1
         self.stats["runs"] += len(slots)
+        # force-publish the cumulative snapshot at every unit boundary so
+        # the coordinator's final cross-host fold never misses this unit
+        self._publish(PHASE_IDLE, force=True)
         return True
 
     # ------------------------------------------------------------------
@@ -231,33 +293,45 @@ class FabricWorker:
             log.info("worker %s: no running campaign manifest; exiting", self.worker_id)
             return self.stats
         spec = CampaignSpec.from_dict(manifest["spec"])
+        self.enable_telemetry(
+            float(manifest.get("telemetry_interval", 0.0) or 0.0),
+            manifest.get("spec_fingerprint"),
+        )
         if self.obs is not None:
             configure_observability(self.obs)
         ttl = float(manifest.get("lease_ttl", 30.0))
         queue = LeaseQueue(self.store, ttl=ttl)
         cache = RunCache(self.store)
         idle_since: Optional[float] = None
-        with self._make_pool(spec) as pool:
-            while True:
-                served = self.run_one(spec, queue, cache, pool)
-                if served:
-                    idle_since = None
+        self._publish(PHASE_IDLE, force=True)
+        try:
+            with self._make_pool(spec) as pool:
+                while True:
+                    served = self.run_one(spec, queue, cache, pool)
+                    if served:
+                        idle_since = None
+                        if once:
+                            return self.stats
+                        continue
+                    manifest = self._manifest()
+                    status = (manifest or {}).get("status")
+                    if status in (MANIFEST_COMPLETE, MANIFEST_FAILED) or manifest is None:
+                        return self.stats
                     if once:
                         return self.stats
-                    continue
-                manifest = self._manifest()
-                status = (manifest or {}).get("status")
-                if status in (MANIFEST_COMPLETE, MANIFEST_FAILED) or manifest is None:
-                    return self.stats
-                if once:
-                    return self.stats
-                now = time.monotonic()
-                if idle_since is None:
-                    idle_since = now
-                if idle_exit is not None and now - idle_since > idle_exit:
-                    log.info("worker %s: idle for %.1fs; exiting", self.worker_id, idle_exit)
-                    return self.stats
-                time.sleep(self.poll_interval)
+                    now = time.monotonic()
+                    if idle_since is None:
+                        idle_since = now
+                    if idle_exit is not None and now - idle_since > idle_exit:
+                        log.info("worker %s: idle for %.1fs; exiting",
+                                 self.worker_id, idle_exit)
+                        return self.stats
+                    self._publish(PHASE_IDLE)
+                    time.sleep(self.poll_interval)
+        finally:
+            # an exited record is never a straggler; cumulative stats and
+            # metrics stay readable for the coordinator's final fold
+            self._publish(PHASE_EXITED, force=True)
 
     def _make_pool(self, spec: CampaignSpec) -> WorkerPool:
         if spec.supervision is not None and spec.supervision.enabled:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 from typing import Any, Dict, List, Optional
 
@@ -56,13 +57,23 @@ class MemorySink:
         pass
 
 
+def _host_token() -> str:
+    """This host's name as a filename-safe token (trace filenames)."""
+    host = socket.gethostname() or "host"
+    return "".join(c if c.isalnum() or c in "-_" else "-" for c in host) or "host"
+
+
 class JsonlTraceSink:
-    """Appends records to ``<dir>/events-<pid>.jsonl``.
+    """Appends records to ``<dir>/events-<host>-<pid>.jsonl``.
 
     Each process writes its own file, so a fork-pool of workers can share
     one trace directory without interleaving writes; the file handle is
-    (re)opened lazily on first emit after a fork.  ``repro report`` reads
-    every ``*.jsonl`` in the directory and merges on timestamp.
+    (re)opened lazily on first emit after a fork.  The hostname is part of
+    the filename because pids recycle *across hosts*: two fabric workers on
+    different machines sharing one NFS trace directory must never append to
+    the same file.  ``repro report`` reads every ``*.jsonl`` in the
+    directory (old ``events-<pid>.jsonl`` names included) and merges on
+    timestamp.
     """
 
     def __init__(self, directory: str, prefix: str = "events"):
@@ -77,7 +88,9 @@ class JsonlTraceSink:
         if self._fh is None or self._pid != pid:
             # after fork the inherited handle belongs to the parent; drop the
             # reference (flushed-after-every-emit, so no buffered data is lost)
-            path = os.path.join(self.directory, f"{self.prefix}-{pid}.jsonl")
+            path = os.path.join(
+                self.directory, f"{self.prefix}-{_host_token()}-{pid}.jsonl"
+            )
             self._fh = open(path, "a", encoding="utf-8")
             self._pid = pid
         self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")

@@ -97,8 +97,12 @@ class TestJsonlSink:
             with BUS.span("run"):
                 BUS.emit("tracker.transition", role="client",
                          src="CLOSED", event="snd SYN", dst="SYN_SENT")
+        # trace files are hostname-qualified: pids recycle across hosts
+        # sharing one store/NFS trace directory
+        from repro.obs.bus import _host_token
+
         files = os.listdir(tmp_path)
-        assert files == [f"events-{os.getpid()}.jsonl"]
+        assert files == [f"events-{_host_token()}-{os.getpid()}.jsonl"]
         events = load_trace_dir(str(tmp_path))
         assert [e["name"] for e in events] == ["run", "tracker.transition"]
         assert run_spans(events)[0]["strategy_id"] == 7
@@ -120,6 +124,88 @@ class TestJsonlSink:
     def test_missing_dir_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_trace_dir(str(tmp_path / "nope"))
+
+
+class TestTraceDirMerge:
+    """Cross-host trace merging: many files, torn tails, shared timestamps."""
+
+    @staticmethod
+    def _write(path, events, torn_tail=None):
+        lines = [json.dumps(e, sort_keys=True) for e in events]
+        text = "\n".join(lines) + "\n" if lines else ""
+        if torn_tail is not None:
+            text += torn_tail  # no trailing newline: a write cut off mid-record
+        path.write_text(text)
+
+    def test_torn_final_lines_in_multiple_files(self, tmp_path):
+        # two workers SIGKILLed mid-emit: each file ends in a torn record;
+        # every complete record from both files must still be merged
+        self._write(
+            tmp_path / "events-hosta-100.jsonl",
+            [{"ts": 1.0, "kind": "event", "name": "a1"},
+             {"ts": 3.0, "kind": "event", "name": "a2"}],
+            torn_tail='{"ts": 5.0, "kind": "ev',
+        )
+        self._write(
+            tmp_path / "events-hostb-100.jsonl",
+            [{"ts": 2.0, "kind": "event", "name": "b1"}],
+            torn_tail='{"ts": 4.0, "kind": "event", "na',
+        )
+        events = load_trace_dir(str(tmp_path))
+        assert [e["name"] for e in events] == ["a1", "b1", "a2"]
+
+    def test_duplicate_timestamps_across_hosts_all_kept(self, tmp_path):
+        # coarse clocks collide across hosts; merging must keep every
+        # record, not dedupe on timestamp
+        self._write(
+            tmp_path / "events-hosta-7.jsonl",
+            [{"ts": 1.5, "kind": "event", "name": "x", "host": "a"}],
+        )
+        self._write(
+            tmp_path / "events-hostb-7.jsonl",
+            [{"ts": 1.5, "kind": "event", "name": "x", "host": "b"},
+             {"ts": 1.5, "kind": "event", "name": "y", "host": "b"}],
+        )
+        events = load_trace_dir(str(tmp_path))
+        assert len(events) == 3
+        assert all(e["ts"] == 1.5 for e in events)
+        assert sorted((e["host"], e["name"]) for e in events) == [
+            ("a", "x"), ("b", "x"), ("b", "y"),
+        ]
+
+    def test_old_and_new_filenames_both_read(self, tmp_path):
+        # pre-PR traces used events-<pid>.jsonl; both generations merge
+        self._write(
+            tmp_path / "events-12345.jsonl",
+            [{"ts": 1.0, "kind": "event", "name": "old-style"}],
+        )
+        self._write(
+            tmp_path / "events-myhost-12345.jsonl",
+            [{"ts": 2.0, "kind": "event", "name": "new-style"}],
+        )
+        events = load_trace_dir(str(tmp_path))
+        assert [e["name"] for e in events] == ["old-style", "new-style"]
+
+    def test_same_pid_different_hosts_never_collides(self, tmp_path):
+        # the point of hostname-qualified names: identical pids on two
+        # hosts sharing the directory produce two distinct files
+        from repro.obs.bus import _host_token
+
+        sink_a = JsonlTraceSink(str(tmp_path))
+        BUS.configure(sink_a)
+        BUS.emit("from.this.host")
+        BUS.configure(None)
+        # simulate the other host: same pid, different hostname token
+        other = tmp_path / f"events-otherhost-{os.getpid()}.jsonl"
+        self._write(other, [{"ts": 0.0, "kind": "event", "name": "from.other.host"}])
+        names = sorted(os.listdir(tmp_path))
+        assert f"events-{_host_token()}-{os.getpid()}.jsonl" in names
+        assert other.name in names
+        assert len(names) == 2
+        events = load_trace_dir(str(tmp_path))
+        assert sorted(e["name"] for e in events) == [
+            "from.other.host", "from.this.host",
+        ]
 
 
 class TestMetrics:
