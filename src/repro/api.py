@@ -36,6 +36,7 @@ from repro.core.parallel import DEFAULT_BATCH_SIZE, RetryPolicy
 from repro.core.supervisor import SupervisionConfig
 from repro.fabric.config import FabricConfig
 from repro.obs.config import ObsConfig
+from repro.snap.config import SnapshotConfig
 
 #: bump on incompatible spec-dict changes; ``from_dict`` rejects unknown majors
 SPEC_VERSION = 1
@@ -95,6 +96,10 @@ class CampaignSpec:
     #: Like workers/batch_size, this changes *how* the campaign runs, not
     #: what it computes, so it is excluded from :meth:`fingerprint`.
     fabric: Optional[FabricConfig] = None
+    #: snapshot/fork engine (see :mod:`repro.snap`); disabled by default.
+    #: Fingerprint-neutral for the same reason as ``supervision``: the
+    #: determinism contract guarantees identical outcomes either way.
+    snapshots: SnapshotConfig = field(default_factory=SnapshotConfig)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -115,6 +120,7 @@ class CampaignSpec:
             "supervision": asdict(self.supervision),
             "confirmation": asdict(self.confirmation),
             "fabric": None if self.fabric is None else self.fabric.to_dict(),
+            "snapshots": asdict(self.snapshots),
         }
 
     @classmethod
@@ -154,6 +160,9 @@ class CampaignSpec:
             fabric=(
                 None if data.get("fabric") is None
                 else FabricConfig(**_from_known(FabricConfig, data["fabric"]))
+            ),
+            snapshots=SnapshotConfig(
+                **_from_known(SnapshotConfig, data.get("snapshots") or {})
             ),
         )
 
@@ -197,6 +206,7 @@ class CampaignSpec:
             batch_size=self.batch_size,
             supervision=self.supervision,
             confirmation=self.confirmation,
+            snapshots=self.snapshots,
         )
 
 
@@ -251,6 +261,7 @@ def spec_from_kwargs(config: TestbedConfig, **kwargs: Any) -> CampaignSpec:
         supervision=kwargs.pop("supervision", SupervisionConfig()),
         confirmation=kwargs.pop("confirmation", ConfirmationPolicy()),
         fabric=kwargs.pop("fabric", None),
+        snapshots=kwargs.pop("snapshots", SnapshotConfig()),
     )
     if kwargs:
         raise TypeError(f"unknown campaign keyword(s): {sorted(kwargs)}")

@@ -22,6 +22,7 @@ import json
 import logging
 import sys
 import time
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.api import CampaignSpec, run_campaign
@@ -43,6 +44,7 @@ from repro.core.reporting import (
     render_metrics_summary,
     render_searchspace,
     render_slowest_runs,
+    render_snapshot_summary,
     render_strategy_timeline,
     render_supervision_report,
     render_table1,
@@ -130,6 +132,17 @@ def _nonnegative_float(value: str) -> float:
     return parsed
 
 
+def _fraction(value: str) -> float:
+    """Argparse type: a float in [0, 1] (``--snap-verify-fraction``)."""
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not a number")
+    if not 0.0 <= parsed <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {parsed}")
+    return parsed
+
+
 def _add_target_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--protocol", choices=("tcp", "dccp"), default="tcp")
     parser.add_argument("--variant", default=None,
@@ -194,6 +207,13 @@ _SUPERVISION_FLAGS = (
 #: downstream default when --quarantine-after is not given
 DEFAULT_QUARANTINE_AFTER = 3
 
+#: snapshot tuning flags that require ``--snapshots``; argparse defaults
+#: are ``None`` so explicit use is detectable
+_SNAPSHOT_FLAGS = (
+    ("snap_verify_fraction", "--snap-verify-fraction"),
+    ("snap_store", "--snap-store"),
+)
+
 
 def _validate_campaign_flags(args: argparse.Namespace) -> Optional[str]:
     """Flag-combination checks, rejected at parse time like the scalar
@@ -202,6 +222,12 @@ def _validate_campaign_flags(args: argparse.Namespace) -> Optional[str]:
         for attr, flag in _SUPERVISION_FLAGS:
             if getattr(args, attr) is not None:
                 return f"{flag} has no effect with --no-supervision"
+    if args.snapshots and args.no_snapshots:
+        return "--snapshots and --no-snapshots are mutually exclusive"
+    if not args.snapshots:
+        for attr, flag in _SNAPSHOT_FLAGS:
+            if getattr(args, attr) is not None:
+                return f"{flag} has no effect without --snapshots"
     if args.resume is True and not args.checkpoint:
         # bare --resume names no journal; require --checkpoint to supply it
         return "--resume without a journal requires --checkpoint"
@@ -228,8 +254,11 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     ``--spec FILE`` loads the whole spec from one JSON artifact (written by
     ``--spec-out`` or by hand) and takes precedence over the per-field
     flags; ``--no-cache`` still applies on top so a cached spec can be
-    forced to re-execute, and ``--fabric --store`` still applies on top so
-    a recorded spec can be re-run distributed.
+    forced to re-execute, ``--fabric --store`` still applies on top so
+    a recorded spec can be re-run distributed, and
+    ``--snapshots``/``--no-snapshots`` still apply on top (they are
+    fingerprint-neutral, so toggling them never changes the campaign's
+    identity).
     """
     resume_path = args.resume if isinstance(args.resume, str) else None
     if args.spec:
@@ -265,6 +294,17 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         )
     if args.no_cache:
         spec = spec.with_overrides(cache_dir=None)
+    if args.no_snapshots:
+        spec = spec.with_overrides(snapshots=replace(spec.snapshots, enabled=False))
+    elif args.snapshots:
+        snap_overrides = {"enabled": True}
+        if args.snap_verify_fraction is not None:
+            snap_overrides["verify_fraction"] = args.snap_verify_fraction
+        if args.snap_store is not None:
+            snap_overrides["store"] = args.snap_store
+        spec = spec.with_overrides(
+            snapshots=replace(spec.snapshots, **snap_overrides)
+        )
     if args.fabric:
         from repro.fabric.config import FabricConfig
 
@@ -468,6 +508,11 @@ def cmd_report(args: argparse.Namespace) -> int:
     runs = run_spans(events)
     print(render_throughput_summary(snapshot, runs))
 
+    if any(key.startswith("snap.") for key in (snapshot.get("counters") or {})):
+        print()
+        print("Snapshots")
+        print(render_snapshot_summary(snapshot))
+
     if args.trace_dir:
         print()
         print("Slowest runs")
@@ -621,6 +666,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cProfile every run; keep .pstats for the N slowest")
     sub.add_argument("--profile-keep", type=int, default=5,
                      help="how many slowest-run profiles to keep (with --profile)")
+    sub.add_argument("--snapshots", action="store_true",
+                     help="amortize shared simulation prefixes: snapshot the "
+                          "simulator world at each strategy's trigger state and "
+                          "fork attack tails from it instead of replaying the "
+                          "prefix (fingerprint-neutral; results are identical)")
+    sub.add_argument("--no-snapshots", action="store_true",
+                     help="force snapshotting off (including one enabled by --spec)")
+    sub.add_argument("--snap-verify-fraction", type=_fraction, default=None,
+                     help="determinism guard: fraction of forked runs also "
+                          "executed in full and compared (default 0.05; "
+                          "divergence disables snapshotting for that prefix)")
+    sub.add_argument("--snap-store", metavar="STORE", default=None,
+                     help="persist snapshots to this artifact store (a directory, "
+                          "or sqlite:PATH / *.db) for cross-process reuse")
     sub.add_argument("--fabric", action="store_true",
                      help="distribute the sweep over a shared artifact store; "
                           "repro worker processes pointed at the same --store "

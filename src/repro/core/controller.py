@@ -37,6 +37,7 @@ from repro.core.generation import GenerationConfig, StrategyGenerator, dedupe_st
 from repro.core.parallel import DEFAULT_BATCH_SIZE, WorkerPool, derive_seed, run_strategies
 from repro.core.strategy import Strategy
 from repro.core.supervisor import KIND_QUARANTINED, SupervisedWorkerPool, SupervisionConfig
+from repro.snap.config import SnapshotConfig
 from repro.obs.bus import BUS
 from repro.obs.config import ObsConfig, configure_observability
 from repro.obs.metrics import METRICS
@@ -102,6 +103,10 @@ class CampaignResult:
     #: commits/duplicates, ...) when the campaign ran distributed over a
     #: shared artifact store; empty dict for single-process campaigns
     fabric: Dict[str, int] = field(default_factory=dict)
+    #: snapshot-engine counters (hits/misses/forks/elided/events_saved/
+    #: divergence/...) when the campaign ran with ``--snapshots`` and
+    #: metrics enabled; empty dict otherwise
+    snapshots: Dict[str, int] = field(default_factory=dict)
 
     @property
     def unique_attacks(self) -> List[str]:
@@ -152,6 +157,7 @@ class Controller:
         batch_size: int = DEFAULT_BATCH_SIZE,
         supervision: Optional[SupervisionConfig] = None,
         confirmation: Optional[ConfirmationPolicy] = None,
+        snapshots: Optional[SnapshotConfig] = None,
     ):
         """``sample_every`` > 1 executes a deterministic 1-in-N stratified
         subsample of the generated strategies (the full enumeration count is
@@ -182,6 +188,12 @@ class Controller:
         ``confirmation`` replicates the baseline ``baseline_runs`` times
         and arms the detector's ``noise_sigmas`` band; ``None`` preserves
         the historical two fixed baseline seeds with no noise band.
+
+        ``snapshots`` (enabled) turns on the snapshot/fork engine
+        (:mod:`repro.snap`): eligible sweep/confirm runs fork their attack
+        tails from deep-copied prefix snapshots instead of replaying the
+        shared prefix; ``None`` or a disabled config executes every run in
+        full.  Fingerprint-neutral, like ``supervision``.
         """
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
@@ -205,6 +217,7 @@ class Controller:
         self.batch_size = batch_size
         self.supervision = supervision
         self.confirmation = confirmation
+        self.snapshots = snapshots
         self.executor = Executor(config)
         #: when set, a :class:`~repro.core.cache.RunCache` used instead of
         #: one built from ``cache_dir`` (the fabric injects a store-backed
@@ -336,6 +349,7 @@ class Controller:
                 stage=stage,
                 cache=cache,
                 pool=pool,
+                snapshots=self.snapshots,
             )
         by_id = {s.strategy_id: outcome for s, outcome in zip(pending, fresh)}
         outcomes = [
@@ -556,6 +570,11 @@ class Controller:
                 else {}
             ),
             metrics=metrics_snapshot,
+            snapshots={
+                key[len("snap."):]: value
+                for key, value in (metrics_snapshot.get("counters") or {}).items()
+                if key.startswith("snap.")
+            },
         )
 
     # ------------------------------------------------------------------

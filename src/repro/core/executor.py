@@ -201,20 +201,94 @@ class RunError:
 RunOutcome = Union[RunResult, RunError]
 
 
+def _stop_bulk_client(client: BulkClient) -> None:
+    """Tear the target downloader down at the end of its test slot.
+
+    Module-level (scheduled with the client as an argument, not a closure)
+    so a deep-copied simulator world carries no hidden references back to
+    the world it was copied from.  Like wget being killed when the paper's
+    executor stops a run.
+    """
+    if client.conn.state not in ("CLOSED", "TIME_WAIT"):
+        client.conn.app_exit()
+
+
+@dataclass
+class SimWorld:
+    """A fully built simulator world, before or mid-execution.
+
+    This is the unit the snapshot engine deep-copies: every piece of run
+    state lives here (scheduler heap, RNG, endpoints, apps, proxy, tracker,
+    chaos taps).  Wall-clock accounting and observability handles are
+    deliberately *not* part of the world — see ``docs/performance.md``.
+    """
+
+    protocol: str
+    sim: Simulator
+    dumbbell: Dumbbell
+    endpoints: Dict[str, Any]
+    tracker: StateTracker
+    proxy: AttackProxy
+    chaos_taps: Tuple[ChaosTap, ...]
+    #: protocol-specific applications (tcp: target/competing BulkClients;
+    #: dccp: server1/server2 IperfServers + sender1/sender2 IperfSenders)
+    apps: Dict[str, Any] = field(default_factory=dict)
+
+
 class Executor:
-    """Runs strategies in fresh testbeds."""
+    """Runs strategies in fresh testbeds.
+
+    A run decomposes into explicit phases — **build** the world (topology,
+    endpoints, apps, proxy, strategy arming), **run** the simulation to its
+    horizon, **collect** the :class:`RunResult` — so the snapshot engine can
+    pause between build and horizon, deep-copy the world, arm an attack on
+    the copy, and continue (see :mod:`repro.snap`).
+    """
 
     def __init__(self, config: TestbedConfig):
         self.config = config
 
     # ------------------------------------------------------------------
-    def run(self, strategy: Optional[Strategy] = None, seed: Optional[int] = None) -> RunResult:
+    def run(
+        self,
+        strategy: Optional[Strategy] = None,
+        seed: Optional[int] = None,
+        observe: bool = True,
+    ) -> RunResult:
         """Execute one test (no strategy = the non-attack baseline run)."""
-        if self.config.protocol == "tcp":
-            return self._run_tcp(strategy, seed)
-        if self.config.protocol == "dccp":
-            return self._run_dccp(strategy, seed)
-        raise ValueError(f"unknown protocol {self.config.protocol!r}")
+        started = time.perf_counter()
+        world = self.build_world(strategy, seed)
+        self._run_sim(world.sim)
+        return self.collect(world, strategy, started, observe=observe)
+
+    # ------------------------------------------------------------------
+    def build_world(
+        self, strategy: Optional[Strategy] = None, seed: Optional[int] = None
+    ) -> SimWorld:
+        """Build (but do not run) a fresh testbed with the strategy armed."""
+        with BUS.span("run.setup", protocol=self.config.protocol):
+            if self.config.protocol == "tcp":
+                return self._build_tcp(strategy, seed)
+            if self.config.protocol == "dccp":
+                return self._build_dccp(strategy, seed)
+            raise ValueError(f"unknown protocol {self.config.protocol!r}")
+
+    def collect(
+        self,
+        world: SimWorld,
+        strategy: Optional[Strategy],
+        started: float,
+        observe: bool = True,
+    ) -> RunResult:
+        """Assemble the :class:`RunResult` for a finished world."""
+        if world.protocol == "tcp":
+            result = self._collect_tcp(world, strategy)
+        else:
+            result = self._collect_dccp(world, strategy)
+        result.wall_seconds = time.perf_counter() - started
+        if observe:
+            self._observe_run(world.sim, world.dumbbell, world.proxy, result)
+        return result
 
     # ------------------------------------------------------------------
     def _install_strategy(self, proxy: AttackProxy, strategy: Optional[Strategy]) -> None:
@@ -332,37 +406,43 @@ class Executor:
             metrics.inc(f"chaos.{key}", value)
 
     # ------------------------------------------------------------------
-    def _run_tcp(self, strategy: Optional[Strategy], seed: Optional[int]) -> RunResult:
+    def _build_tcp(self, strategy: Optional[Strategy], seed: Optional[int]) -> SimWorld:
         cfg = self.config
-        started = time.perf_counter()
-        with BUS.span("run.setup", protocol="tcp"):
-            sim = Simulator(seed=cfg.seed if seed is None else seed)
-            dumbbell = Dumbbell(sim)
-            variant = get_variant(cfg.variant)
-            endpoints = {
-                name: TcpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
-                for name in ("client1", "client2", "server1", "server2")
-            }
-            BulkServer(endpoints["server1"], cfg.server_port, cfg.file_size)
-            BulkServer(endpoints["server2"], cfg.server_port, cfg.file_size)
-            tracker = StateTracker(tcp_state_machine(), "client1", "server1", tcp_packet_type)
-            proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "tcp", tracker)
-            self._install_strategy(proxy, strategy)
-            target = BulkClient(endpoints["client1"], "server1", cfg.server_port)
-            competing = BulkClient(endpoints["client2"], "server2", cfg.server_port)
+        sim = Simulator(seed=cfg.seed if seed is None else seed)
+        dumbbell = Dumbbell(sim)
+        variant = get_variant(cfg.variant)
+        endpoints = {
+            name: TcpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
+            for name in ("client1", "client2", "server1", "server2")
+        }
+        BulkServer(endpoints["server1"], cfg.server_port, cfg.file_size)
+        BulkServer(endpoints["server2"], cfg.server_port, cfg.file_size)
+        tracker = StateTracker(tcp_state_machine(), "client1", "server1", tcp_packet_type)
+        proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "tcp", tracker)
+        self._install_strategy(proxy, strategy)
+        target = BulkClient(endpoints["client1"], "server1", cfg.server_port)
+        competing = BulkClient(endpoints["client2"], "server2", cfg.server_port)
+        chaos_taps = self._install_chaos(sim, dumbbell)
+        # only resets *before* this scheduled teardown are attack-relevant;
+        # the kill itself always ends in resets
+        sim.schedule_at(cfg.client_stop_at, _stop_bulk_client, target)
+        return SimWorld(
+            protocol="tcp",
+            sim=sim,
+            dumbbell=dumbbell,
+            endpoints=endpoints,
+            tracker=tracker,
+            proxy=proxy,
+            chaos_taps=chaos_taps,
+            apps={"target": target, "competing": competing},
+        )
 
-            def kill_target() -> None:
-                # the downloader is torn down at the end of its test slot, like
-                # wget being killed when the paper's executor stops a run
-                if target.conn.state not in ("CLOSED", "TIME_WAIT"):
-                    target.conn.app_exit()
-
-            chaos_taps = self._install_chaos(sim, dumbbell)
-            sim.schedule_at(cfg.client_stop_at, kill_target)
-        self._run_sim(sim)
-
-        report = proxy.report()
-        result = RunResult(
+    def _collect_tcp(self, world: SimWorld, strategy: Optional[Strategy]) -> RunResult:
+        cfg = self.config
+        sim, endpoints, tracker = world.sim, world.endpoints, world.tracker
+        target, competing = world.apps["target"], world.apps["competing"]
+        report = world.proxy.report()
+        return RunResult(
             strategy_id=strategy.strategy_id if strategy else None,
             protocol="tcp",
             variant=cfg.variant,
@@ -370,8 +450,6 @@ class Executor:
             target_bytes=target.bytes_received,
             competing_bytes=competing.bytes_received,
             target_connected=target.connected,
-            # only resets *before* the scheduled client teardown are
-            # attack-relevant; the kill itself always ends in resets
             target_reset=target.reset_at is not None and target.reset_at < cfg.client_stop_at,
             competing_reset=competing.reset,
             server1_lingering=len(endpoints["server1"].lingering_sockets()),
@@ -387,41 +465,55 @@ class Executor:
             events_processed=sim.events_processed,
             timed_out=sim.truncated is not None,
             truncated=sim.truncated,
-            chaos_events=self._chaos_events(chaos_taps),
+            chaos_events=self._chaos_events(world.chaos_taps),
         )
-        result.wall_seconds = time.perf_counter() - started
-        self._observe_run(sim, dumbbell, proxy, result)
-        return result
 
     # ------------------------------------------------------------------
-    def _run_dccp(self, strategy: Optional[Strategy], seed: Optional[int]) -> RunResult:
+    def _build_dccp(self, strategy: Optional[Strategy], seed: Optional[int]) -> SimWorld:
         cfg = self.config
-        started = time.perf_counter()
-        with BUS.span("run.setup", protocol="dccp"):
-            sim = Simulator(seed=cfg.seed if seed is None else seed)
-            dumbbell = Dumbbell(sim)
-            variant = get_dccp_variant(cfg.variant)
-            endpoints = {
-                name: DccpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
-                for name in ("client1", "client2", "server1", "server2")
-            }
-            server1 = IperfServer(endpoints["server1"], cfg.dccp_server_port)
-            server2 = IperfServer(endpoints["server2"], cfg.dccp_server_port)
-            tracker = StateTracker(dccp_state_machine(), "client1", "server1", dccp_packet_type)
-            proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "dccp", tracker)
-            self._install_strategy(proxy, strategy)
-            sender1 = IperfSender(
-                endpoints["client1"], "server1", cfg.dccp_server_port,
-                stop_at=cfg.dccp_client_stop_at,
-            )
-            sender2 = IperfSender(
-                endpoints["client2"], "server2", cfg.dccp_server_port, stop_at=cfg.duration + 1
-            )
-            chaos_taps = self._install_chaos(sim, dumbbell)
-        self._run_sim(sim)
+        sim = Simulator(seed=cfg.seed if seed is None else seed)
+        dumbbell = Dumbbell(sim)
+        variant = get_dccp_variant(cfg.variant)
+        endpoints = {
+            name: DccpEndpoint(dumbbell.host(name), variant, iss_space=cfg.iss_space)
+            for name in ("client1", "client2", "server1", "server2")
+        }
+        server1 = IperfServer(endpoints["server1"], cfg.dccp_server_port)
+        server2 = IperfServer(endpoints["server2"], cfg.dccp_server_port)
+        tracker = StateTracker(dccp_state_machine(), "client1", "server1", dccp_packet_type)
+        proxy = AttackProxy(sim, dumbbell.client1_access, dumbbell.client1, "dccp", tracker)
+        self._install_strategy(proxy, strategy)
+        sender1 = IperfSender(
+            endpoints["client1"], "server1", cfg.dccp_server_port,
+            stop_at=cfg.dccp_client_stop_at,
+        )
+        sender2 = IperfSender(
+            endpoints["client2"], "server2", cfg.dccp_server_port, stop_at=cfg.duration + 1
+        )
+        chaos_taps = self._install_chaos(sim, dumbbell)
+        return SimWorld(
+            protocol="dccp",
+            sim=sim,
+            dumbbell=dumbbell,
+            endpoints=endpoints,
+            tracker=tracker,
+            proxy=proxy,
+            chaos_taps=chaos_taps,
+            apps={
+                "server1": server1,
+                "server2": server2,
+                "sender1": sender1,
+                "sender2": sender2,
+            },
+        )
 
-        report = proxy.report()
-        result = RunResult(
+    def _collect_dccp(self, world: SimWorld, strategy: Optional[Strategy]) -> RunResult:
+        cfg = self.config
+        sim, endpoints, tracker = world.sim, world.endpoints, world.tracker
+        server1, server2 = world.apps["server1"], world.apps["server2"]
+        sender1, sender2 = world.apps["sender1"], world.apps["sender2"]
+        report = world.proxy.report()
+        return RunResult(
             strategy_id=strategy.strategy_id if strategy else None,
             protocol="dccp",
             variant=cfg.variant,
@@ -445,8 +537,5 @@ class Executor:
             events_processed=sim.events_processed,
             timed_out=sim.truncated is not None,
             truncated=sim.truncated,
-            chaos_events=self._chaos_events(chaos_taps),
+            chaos_events=self._chaos_events(world.chaos_taps),
         )
-        result.wall_seconds = time.perf_counter() - started
-        self._observe_run(sim, dumbbell, proxy, result)
-        return result

@@ -316,6 +316,45 @@ class StrategyGenerator:
 
 
 # ----------------------------------------------------------------------
+# snapshot prefix grouping
+# ----------------------------------------------------------------------
+def snapshot_descriptor(strategy: Optional[Strategy]) -> Optional[Tuple[str, str, str]]:
+    """The trigger descriptor a snapshot prefix is keyed on, or ``None``.
+
+    ``("pair", state, packet_type)`` for packet strategies (armed when the
+    tracker first observes that pair), ``("state", role, state)`` for
+    state-triggered off-path campaigns (armed when that endpoint first
+    enters the state).  ``None`` marks a strategy snapshot-ineligible:
+    baseline runs, and time-triggered campaigns — their ``arm()`` schedules
+    the fire *relative to arming time*, so arming late on a forked world
+    would shift the attack.
+    """
+    if strategy is None:
+        return None
+    if strategy.kind == KIND_PACKET:
+        return ("pair", str(strategy.state), str(strategy.packet_type))
+    if strategy.kind in (KIND_INJECT, KIND_HITSEQWINDOW):
+        trigger = tuple(strategy.params.get("trigger") or ())
+        if len(trigger) == 3 and trigger[0] == "state":
+            return ("state", str(trigger[1]), str(trigger[2]))
+    return None
+
+
+def prefix_sort_key(strategy: Optional[Strategy]) -> Tuple[int, str, str, str]:
+    """Deterministic ordering that clusters strategies sharing a prefix.
+
+    The batched dispatcher sorts pending sweep slots by this key when
+    snapshotting is enabled, so strategies that fork from the same snapshot
+    land in the same worker's batches and the per-worker snapshot LRU stays
+    hot.  Ineligible strategies sort last.
+    """
+    descriptor = snapshot_descriptor(strategy)
+    if descriptor is None:
+        return (1, "", "", "")
+    return (0, descriptor[0], descriptor[1], descriptor[2])
+
+
+# ----------------------------------------------------------------------
 # parameter-equivalence deduplication
 # ----------------------------------------------------------------------
 @dataclass

@@ -57,11 +57,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cache import RunCache, run_fingerprint
 from repro.core.executor import Executor, RunError, RunOutcome, RunResult, TestbedConfig
+from repro.core.generation import prefix_sort_key
 from repro.core.strategy import Strategy
 from repro.obs.bus import BUS
 from repro.obs.config import ObsConfig, configure_observability
 from repro.obs.metrics import BATCH_BUCKETS, METRICS, merge_snapshots
 from repro.obs.profiling import profile_run
+from repro.snap.config import SnapshotConfig
 
 log = logging.getLogger("repro.core.parallel")
 
@@ -99,7 +101,8 @@ class RetryPolicy:
 
 #: everything identical across one stage's runs, shipped once per batch
 BatchContext = Tuple[
-    TestbedConfig, Optional[int], RetryPolicy, Optional[ObsConfig], str
+    TestbedConfig, Optional[int], RetryPolicy, Optional[ObsConfig], str,
+    Optional[SnapshotConfig],
 ]
 
 #: one strategy slot inside a batch: (result index, strategy)
@@ -144,6 +147,7 @@ def _execute_single(
     policy: RetryPolicy,
     obs_cfg: Optional[ObsConfig],
     stage: str,
+    snap: Optional[SnapshotConfig] = None,
 ) -> Tuple[RunOutcome, Optional[Dict[str, Any]]]:
     """Run one strategy with retries; must never raise."""
     if obs_cfg is not None:
@@ -171,7 +175,15 @@ def _execute_single(
         with BUS.scope(stage=stage, strategy_id=strategy_id, attempt=attempt, seed=attempt_seed):
             try:
                 with BUS.span("run"), profile_run(profile_dir, run_id):
-                    result = Executor(config).run(strategy, seed=attempt_seed)
+                    # eligible first attempts fork from a shared prefix
+                    # snapshot; everything else executes in full.  Imported
+                    # here (not at module scope) because repro.snap.engine
+                    # imports repro.core submodules.
+                    from repro.snap.engine import execute_run as snap_execute_run
+
+                    result = snap_execute_run(config, strategy, attempt_seed, attempt, snap)
+                    if result is None:
+                        result = Executor(config).run(strategy, seed=attempt_seed)
             except Exception as exc:
                 if METRICS.enabled:
                     METRICS.inc("runs.failed")
@@ -237,11 +249,11 @@ def fold_batch_latency(
 def _execute_batch(batch: WorkBatch) -> List[SlotReply]:
     """Top-level worker function: run one batch serially (picklable,
     never raises)."""
-    (config, seed, policy, obs_cfg, stage), slots = batch
+    (config, seed, policy, obs_cfg, stage, snap), slots = batch
     replies: List[SlotReply] = []
     batch_t0 = time.perf_counter()
     for index, strategy in slots:
-        outcome, delta = _execute_single(config, strategy, seed, policy, obs_cfg, stage)
+        outcome, delta = _execute_single(config, strategy, seed, policy, obs_cfg, stage, snap)
         replies.append((index, outcome, delta))
     if replies:
         index, outcome, delta = replies[-1]
@@ -334,6 +346,7 @@ def run_strategies(
     cache: Optional[RunCache] = None,
     pool: Optional[WorkerPool] = None,
     chunksize: Optional[int] = None,
+    snapshots: Optional[SnapshotConfig] = None,
 ) -> List[RunOutcome]:
     """Run every strategy, in parallel when the pool allows it.
 
@@ -354,6 +367,11 @@ def run_strategies(
     metrics deltas are merged into the parent's registry as they arrive, so
     after this returns the process-wide registry covers the whole stage.
     ``stage`` labels the trace records ("sweep" / "confirm" / ...).
+
+    ``snapshots`` (a :class:`~repro.snap.SnapshotConfig` with ``enabled``)
+    turns on the snapshot/fork engine: pending slots are grouped by prefix
+    fingerprint before batching and eligible first attempts fork from a
+    deep-copied prefix snapshot inside each worker (see :mod:`repro.snap`).
     """
     if chunksize is not None:
         batch_size = chunksize
@@ -400,7 +418,13 @@ def run_strategies(
         finish(index, outcome)
 
     # ------------------------------------------------------------ batches
-    context: BatchContext = (config, seed, policy, obs, stage)
+    snap = snapshots if snapshots is not None and snapshots.enabled else None
+    if snap is not None and len(pending) > 1:
+        # cluster slots sharing a prefix fingerprint into the same batches
+        # so each worker's snapshot LRU serves whole runs of forks; results
+        # realign by slot index, so reordering dispatch is free
+        pending.sort(key=lambda slot: (prefix_sort_key(slot[1]), slot[0]))
+    context: BatchContext = (config, seed, policy, obs, stage, snap)
     batches: List[WorkBatch] = [
         (context, tuple(pending[lo : lo + batch_size]))
         for lo in range(0, len(pending), batch_size)

@@ -133,6 +133,11 @@ def render_campaign_health(result: CampaignResult) -> str:
             "  fabric: "
             + " ".join(f"{key}={value}" for key, value in sorted(result.fabric.items()))
         )
+    if result.snapshots and any(result.snapshots.values()):
+        lines.append(
+            "  snapshots: "
+            + " ".join(f"{key}={value}" for key, value in sorted(result.snapshots.items()))
+        )
     histograms = (result.metrics or {}).get("histograms", {})
     for label, name in (
         ("run wall seconds", "run.wall_seconds"),
@@ -277,6 +282,32 @@ def render_metrics_summary(snapshot: Mapping[str, Any]) -> str:
             _render_table(("Histogram", "Count", "Mean", "p50", "p90", "p99", "Max"), hist_rows)
         )
     return "\n\n".join(sections) if sections else "(empty metrics snapshot)"
+
+
+def render_snapshot_summary(snapshot: Mapping[str, Any]) -> str:
+    """Snapshot/fork engine section of ``repro report`` (``snap.*`` counters).
+
+    Shows the prefix-cache hit/miss/fork/elision counters, and — when the
+    snapshot recorded total simulator events — how much work forking saved
+    relative to replaying every prefix from a cold build.
+    """
+    counters = snapshot.get("counters", {})
+    stats = {
+        name[len("snap."):]: value
+        for name, value in sorted(counters.items())
+        if name.startswith("snap.")
+    }
+    if not stats:
+        return "  (no snapshot activity recorded)"
+    lines = ["  " + " ".join(f"{key}={_fmt_num(value)}" for key, value in stats.items())]
+    saved = stats.get("events_saved", 0)
+    executed = counters.get("sim.events", 0)
+    if saved:
+        detail = f"  prefix events skipped by forking: {int(saved):,}"
+        if executed:
+            detail += f" (on top of {int(executed):,} executed)"
+        lines.append(detail)
+    return "\n".join(lines)
 
 
 def render_slowest_runs(runs: Sequence[Mapping[str, Any]], limit: int = 10) -> str:

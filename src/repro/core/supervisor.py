@@ -171,12 +171,12 @@ def _supervised_worker(
             return
         if task is None:
             return
-        (config, seed, policy, obs, stage), slots = task
+        (config, seed, policy, obs, stage, snap), slots = task
         batch_t0 = time.perf_counter()
         for position, (index, strategy) in enumerate(slots):
             conn.send(("start", index))
             _maybe_inject_fault(strategy.strategy_id if strategy is not None else None)
-            outcome, delta = _execute_single(config, strategy, seed, policy, obs, stage)
+            outcome, delta = _execute_single(config, strategy, seed, policy, obs, stage, snap)
             if position == len(slots) - 1:
                 delta = fold_batch_latency(delta, time.perf_counter() - batch_t0)
             conn.send(("reply", (index, outcome, delta)))
@@ -316,7 +316,7 @@ class SupervisedWorkerPool:
             if handle.busy:
                 continue
             context, slots = batch = pending.popleft()
-            config, _seed, policy, _obs, _stage = context
+            config, _seed, policy, _obs, _stage, _snap = context
             handle.batch = batch
             handle.deadline = self.supervision.deadline_for(config, policy)
             handle.unreplied = {index for index, _ in slots}

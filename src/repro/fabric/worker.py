@@ -262,6 +262,7 @@ class FabricWorker:
                 stage=stage,
                 cache=cache,
                 pool=pool,
+                snapshots=spec.snapshots,
             )
         finally:
             stop_heartbeat.set()

@@ -38,7 +38,10 @@ class Host:
         self.name = name
         self.address = address if address is not None else name
         self.links: List[Link] = []
-        self._out_pipes: Dict[int, Pipe] = {}  # id(link) -> pipe we transmit on
+        # keyed by the link object (not id(link)) so a deepcopied world
+        # stays internally consistent: copy.deepcopy's memo maps each
+        # link to exactly one copy, and that copy is the key here
+        self._out_pipes: Dict[Link, Pipe] = {}
         self._routes: Dict[str, Link] = {}
         self._default_route: Optional[Link] = None
         self._protocols: Dict[str, ProtocolHandler] = {}
@@ -53,15 +56,15 @@ class Host:
     def attach(self, link: Link, out_pipe: Pipe) -> None:
         """Called by :class:`Link` during construction."""
         self.links.append(link)
-        self._out_pipes[id(link)] = out_pipe
+        self._out_pipes[link] = out_pipe
 
     def add_route(self, dst_address: str, link: Link) -> None:
-        if id(link) not in self._out_pipes:
+        if link not in self._out_pipes:
             raise ValueError(f"{self.name} is not attached to {link.name}")
         self._routes[dst_address] = link
 
     def set_default_route(self, link: Link) -> None:
-        if id(link) not in self._out_pipes:
+        if link not in self._out_pipes:
             raise ValueError(f"{self.name} is not attached to {link.name}")
         self._default_route = link
 
@@ -80,7 +83,7 @@ class Host:
         if link is None:
             self.packets_dropped_no_route += 1
             return
-        self._out_pipes[id(link)].transmit(packet)
+        self._out_pipes[link].transmit(packet)
 
     def receive(self, packet: "Packet", pipe: Pipe) -> None:
         """Called by the delivering pipe when a packet arrives."""

@@ -17,6 +17,11 @@ from typing import Any, Callable, List, Optional, Tuple
 #: checking every event would put a syscall on the scheduler hot path
 WALL_CHECK_INTERVAL = 512
 
+#: minimum number of stale (cancelled-but-queued) handles before heap
+#: compaction is considered; below this the rebuild costs more than the
+#: lazy pops it saves
+COMPACT_MIN_STALE = 64
+
 #: truncation reasons reported via :attr:`Simulator.truncated`
 TRUNCATED_MAX_EVENTS = "max-events"
 TRUNCATED_WALL_BUDGET = "wall-budget"
@@ -31,23 +36,50 @@ class EventHandle:
 
     Cancellation is lazy: the event stays in the heap but is skipped when it
     surfaces.  This keeps cancellation O(1), which matters because protocol
-    retransmission timers are cancelled on almost every ACK.
+    retransmission timers are cancelled on almost every ACK.  The owning
+    simulator counts cancellations and compacts the heap when too many
+    cancelled handles pin slots (see :meth:`Simulator._compact`).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None  # drop references so cancelled timers don't pin objects
         self.args = ()
+        sim = self.sim
+        self.sim = None
+        if sim is not None:
+            sim._note_cancel()
+
+    def _consume(self) -> None:
+        """Mark the event fired by the run loop.
+
+        A consumed event is already popped from the heap, so it must not be
+        counted as a stale heap entry the way :meth:`cancel` is.
+        """
+        self.cancelled = True
+        self.fn = None
+        self.args = ()
+        self.sim = None
 
     @property
     def pending(self) -> bool:
@@ -78,6 +110,7 @@ class Simulator:
         self.rng = random.Random(seed)
         self._heap: List[EventHandle] = []
         self._seq = 0
+        self._stale = 0
         self._running = False
         self._events_processed = 0
         #: cumulative real (wall-clock) seconds spent inside :meth:`run`;
@@ -103,9 +136,30 @@ class Simulator:
         if time < self.now:
             raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
         self._seq += 1
-        handle = EventHandle(time, self._seq, fn, args)
+        handle = EventHandle(time, self._seq, fn, args, self)
         heapq.heappush(self._heap, handle)
         return handle
+
+    # ------------------------------------------------------------------
+    # heap hygiene
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._stale += 1
+        if self._stale > COMPACT_MIN_STALE and self._stale * 2 >= len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled handles and re-heapify.
+
+        Lazily cancelled retransmit timers pin heap slots until their
+        far-future timestamps surface; once they are the majority of the heap
+        a linear rebuild is cheaper than lazily popping them one by one.
+        Rebuilding preserves the ``(time, seq)`` total order, so determinism
+        is unaffected.
+        """
+        self._heap = [event for event in self._heap if event.pending]
+        heapq.heapify(self._heap)
+        self._stale = 0
 
     # ------------------------------------------------------------------
     # execution
@@ -115,6 +169,7 @@ class Simulator:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
         wall_budget: Optional[float] = None,
+        stop_after_events: Optional[int] = None,
     ) -> int:
         """Run events until the horizon, a watchdog budget, or heap exhaustion.
 
@@ -127,6 +182,13 @@ class Simulator:
         ``wall_budget`` caps its real (wall-clock) runtime in seconds; either
         watchdog firing stops the run early and records the reason in
         :attr:`truncated` (``None`` when the run completed normally).
+
+        ``stop_after_events`` pauses cleanly after this call has processed
+        exactly that many events: unlike the watchdogs it does not set
+        :attr:`truncated` and does not advance :attr:`now` to the horizon, so
+        a later :meth:`run` call resumes mid-simulation with identical
+        semantics to never having paused.  The snapshot engine uses this to
+        stop a run at a prefix boundary.
         """
         if self._running:
             raise SimulationError("simulator is already running")
@@ -135,11 +197,16 @@ class Simulator:
         started = time.monotonic()
         deadline = None if wall_budget is None else started + wall_budget
         processed = 0
+        paused = False
         try:
             while self._heap:
+                if stop_after_events is not None and processed >= stop_after_events:
+                    paused = True
+                    break
                 head = self._heap[0]
                 if not head.pending:
                     heapq.heappop(self._heap)
+                    self._stale -= 1
                     continue
                 if until is not None and head.time > until:
                     break
@@ -155,21 +222,22 @@ class Simulator:
                     break
                 event = heapq.heappop(self._heap)
                 if not event.pending:
+                    self._stale -= 1
                     continue
                 self.now = event.time
                 fn, args = event.fn, event.args
-                event.cancel()  # mark consumed
+                event._consume()  # mark consumed without counting as stale
                 assert fn is not None
                 fn(*args)
                 processed += 1
+                self._events_processed += 1
         finally:
             self._running = False
             self.wall_seconds += time.monotonic() - started
-        # a truncated run did not reach the horizon; leave ``now`` where the
-        # watchdog stopped it so callers can see how far the run actually got
-        if until is not None and self.now < until and self.truncated is None:
+        # a truncated (or paused) run did not reach the horizon; leave ``now``
+        # where it stopped so callers can see how far the run actually got
+        if until is not None and self.now < until and self.truncated is None and not paused:
             self.now = until
-        self._events_processed += processed
         return processed
 
     @property

@@ -105,6 +105,16 @@ class HeaderFormat:
         self.by_name: Dict[str, FieldSpec] = {spec.name: spec for spec in fields}
         self.total_bits = total
         self.length_bytes = total // 8
+        #: precomputed per-field ``(name, shift, mask)`` wire plan so
+        #: ``pack``/``parse`` avoid re-walking FieldSpec attribute lookups on
+        #: every packet; the shift is the field's bit offset from the LSB of
+        #: the packed integer (MSB-first field order)
+        plan: List[Tuple[str, int, int]] = []
+        shift = total
+        for spec in fields:
+            shift -= spec.width
+            plan.append((spec.name, shift, spec.max_value))
+        self.wire_plan: Tuple[Tuple[str, int, int], ...] = tuple(plan)
         self._cls: Optional[Type["Header"]] = None
 
     def __iter__(self) -> Iterator[FieldSpec]:
@@ -195,10 +205,11 @@ class Header:
     # ------------------------------------------------------------------
     def pack(self) -> bytes:
         """Serialize to bytes (MSB-first field order)."""
+        fmt = self.FORMAT
         accumulator = 0
-        for spec in self.FORMAT.fields:
-            accumulator = (accumulator << spec.width) | (getattr(self, spec.name) & spec.max_value)
-        return accumulator.to_bytes(self.FORMAT.length_bytes, "big")
+        for name, shift, mask in fmt.wire_plan:
+            accumulator |= (getattr(self, name) & mask) << shift
+        return accumulator.to_bytes(fmt.length_bytes, "big")
 
     @classmethod
     def parse(cls, data: bytes) -> "Header":
@@ -209,10 +220,8 @@ class Header:
             )
         accumulator = int.from_bytes(data[: fmt.length_bytes], "big")
         header = cls.__new__(cls)
-        remaining = fmt.total_bits
-        for spec in fmt.fields:
-            remaining -= spec.width
-            setattr(header, spec.name, (accumulator >> remaining) & spec.max_value)
+        for name, shift, mask in fmt.wire_plan:
+            setattr(header, name, (accumulator >> shift) & mask)
         return header
 
     def to_dict(self) -> Dict[str, int]:

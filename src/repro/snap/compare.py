@@ -1,0 +1,101 @@
+"""Journal equivalence checker for the snapshot determinism contract.
+
+``python -m repro.snap.compare a.jsonl b.jsonl`` asserts that two
+checkpoint journals contain identical per-strategy outcomes.  CI runs the
+same sweep with ``--snapshots`` and ``--no-snapshots`` and feeds both
+journals through this tool: any behavioural difference a forked run could
+introduce shows up as a field-level diff here.
+
+Normalization is deliberately minimal:
+
+* records are keyed by ``(stage, strategy_id)`` — snapshot grouping
+  reorders dispatch, so journal line order is not part of the contract;
+* ``wall_seconds`` and ``run_id`` are stripped — real time and attempt
+  naming are not simulation outputs (``attempts``/``cached`` are kept:
+  snapshotting must not change retry or cache behaviour).
+
+Everything else — throughput, resets, socket censuses, observed pairs,
+event counts, timeout verdicts — must match bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, Optional, Tuple
+
+from repro.core.checkpoint import CheckpointJournal
+from repro.core.executor import RunOutcome
+
+#: per-outcome fields that are not simulation outputs
+_STRIP_FIELDS = ("wall_seconds", "run_id")
+
+OutcomeKey = Tuple[str, Optional[int]]
+
+
+def normalized_outcomes(path: str) -> Dict[OutcomeKey, str]:
+    """Load a journal into ``(stage, strategy_id) -> canonical outcome``."""
+    completed = CheckpointJournal(path).load()
+    normalized: Dict[OutcomeKey, str] = {}
+    for key, outcome in completed.items():
+        normalized[key] = _canonical(outcome)
+    return normalized
+
+def _canonical(outcome: RunOutcome) -> str:
+    data = outcome.to_dict()
+    for field_name in _STRIP_FIELDS:
+        data.pop(field_name, None)
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def compare_journals(path_a: str, path_b: str) -> Tuple[bool, str]:
+    """``(identical, human-readable report)`` for two journals."""
+    outcomes_a = normalized_outcomes(path_a)
+    outcomes_b = normalized_outcomes(path_b)
+    lines = []
+    only_a = sorted(
+        (k for k in outcomes_a if k not in outcomes_b),
+        key=lambda key: (key[0], key[1] if key[1] is not None else -1),
+    )
+    only_b = sorted(
+        (k for k in outcomes_b if k not in outcomes_a),
+        key=lambda key: (key[0], key[1] if key[1] is not None else -1),
+    )
+    for key in only_a:
+        lines.append(f"only in {path_a}: stage={key[0]} strategy={key[1]}")
+    for key in only_b:
+        lines.append(f"only in {path_b}: stage={key[0]} strategy={key[1]}")
+    shared = sorted(
+        (k for k in outcomes_a if k in outcomes_b),
+        key=lambda key: (key[0], key[1] if key[1] is not None else -1),
+    )
+    for key in shared:
+        if outcomes_a[key] != outcomes_b[key]:
+            record_a = json.loads(outcomes_a[key])
+            record_b = json.loads(outcomes_b[key])
+            fields = sorted(
+                name
+                for name in set(record_a) | set(record_b)
+                if record_a.get(name) != record_b.get(name)
+            )
+            lines.append(
+                f"diverged: stage={key[0]} strategy={key[1]} fields={fields}"
+            )
+    if lines:
+        return False, "\n".join(lines)
+    return True, f"{len(shared)} outcome(s) identical"
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 2:
+        print("usage: python -m repro.snap.compare <journal-a> <journal-b>",
+              file=sys.stderr)
+        return 2
+    identical, report = compare_journals(args[0], args[1])
+    print(report)
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    raise SystemExit(main())

@@ -125,6 +125,10 @@ class StateTracker:
         self.packets_unmatched = 0
         #: callbacks fired as (role, new_state) on every inferred transition
         self.transition_listeners: List[Callable[[str, str], None]] = []
+        #: callbacks fired as (sender_state, packet_type) the first time a
+        #: pair is observed — the snapshot engine uses these to find the
+        #: event ordinal at which a packet-rule trigger becomes reachable
+        self.pair_listeners: List[Callable[[str, str], None]] = []
 
     # ------------------------------------------------------------------
     def endpoint(self, address: str) -> Optional[EndpointTracker]:
@@ -151,7 +155,11 @@ class StateTracker:
         self.packets_observed += 1
         sender_state = sender.state if sender is not None else None
         if sender_state is not None:
-            self.observed_pairs.add((sender_state, packet_type))
+            pair = (sender_state, packet_type)
+            if pair not in self.observed_pairs:
+                self.observed_pairs.add(pair)
+                for listener in list(self.pair_listeners):
+                    listener(sender_state, packet_type)
         if sender is not None:
             new_state = sender.observe(SND, packet_type, now)
             if new_state is not None:
