@@ -38,8 +38,30 @@ from repro.fabric.config import FabricConfig
 from repro.obs.config import ObsConfig
 from repro.snap.config import SnapshotConfig
 
-#: bump on incompatible spec-dict changes; ``from_dict`` rejects unknown majors
-SPEC_VERSION = 1
+#: bump on incompatible spec-dict changes; ``from_dict`` upgrades known old
+#: versions through :data:`_SPEC_UPGRADES` and rejects unknown ones
+SPEC_VERSION = 2
+
+
+def _upgrade_v1_to_v2(data: Dict[str, Any]) -> Dict[str, Any]:
+    """v1 → v2: the multi-tenant service fields, with safe defaults.
+
+    v2 adds ``tenant`` (quota accounting identity, default ``"default"``)
+    and ``service`` (service-mode runtime knobs, default ``None``).  Both
+    are fingerprint-neutral, so an upgraded spec names the same campaign.
+    """
+    upgraded = dict(data)
+    upgraded.setdefault("tenant", "default")
+    upgraded.setdefault("service", None)
+    upgraded["version"] = 2
+    return upgraded
+
+
+#: explicit spec-version upgrade chain: ``{from_version: hook}``; applied
+#: repeatedly by :meth:`CampaignSpec.from_dict` until ``SPEC_VERSION``
+_SPEC_UPGRADES: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    1: _upgrade_v1_to_v2,
+}
 
 #: GenerationConfig fields whose JSON lists must come back as tuples for the
 #: round-trip to be exact (dataclass defaults are tuples)
@@ -100,6 +122,14 @@ class CampaignSpec:
     #: Fingerprint-neutral for the same reason as ``supervision``: the
     #: determinism contract guarantees identical outcomes either way.
     snapshots: SnapshotConfig = field(default_factory=SnapshotConfig)
+    #: quota-accounting identity under the campaign service (spec v2).
+    #: Fingerprint-neutral: who submitted a campaign does not change what
+    #: it computes, so tenants share the run cache.
+    tenant: str = "default"
+    #: service-mode runtime knobs (spec v2), an open dict so the control
+    #: plane can evolve without another spec bump; ``None`` outside the
+    #: service.  Fingerprint-neutral like ``fabric``.
+    service: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -121,6 +151,8 @@ class CampaignSpec:
             "confirmation": asdict(self.confirmation),
             "fabric": None if self.fabric is None else self.fabric.to_dict(),
             "snapshots": asdict(self.snapshots),
+            "tenant": self.tenant,
+            "service": None if self.service is None else dict(self.service),
         }
 
     @classmethod
@@ -129,14 +161,22 @@ class CampaignSpec:
 
         Sequence-valued generation knobs normalize back to tuples, so
         ``from_dict(spec.to_dict()) == spec`` holds exactly.  Unknown keys
-        inside the nested configs are ignored for forward compatibility,
-        but an incompatible ``version`` is rejected loudly.
+        inside the nested configs are ignored for forward compatibility.
+        Old spec versions are upgraded in place through the
+        :data:`_SPEC_UPGRADES` hook chain (v1 dicts gain the v2
+        ``tenant``/``service`` defaults); a version with no upgrade path
+        is rejected loudly.
         """
         version = data.get("version", SPEC_VERSION)
-        if version != SPEC_VERSION:
-            raise ValueError(
-                f"spec version {version!r} not supported (expected {SPEC_VERSION})"
-            )
+        while version != SPEC_VERSION:
+            upgrade = _SPEC_UPGRADES.get(version)
+            if upgrade is None:
+                raise ValueError(
+                    f"spec version {version!r} not supported (expected "
+                    f"{SPEC_VERSION}; upgradable: {sorted(_SPEC_UPGRADES)})"
+                )
+            data = upgrade(data)
+            version = data.get("version", SPEC_VERSION)
         generation = data.get("generation")
         obs = data.get("obs")
         return cls(
@@ -164,6 +204,8 @@ class CampaignSpec:
             snapshots=SnapshotConfig(
                 **_from_known(SnapshotConfig, data.get("snapshots") or {})
             ),
+            tenant=data.get("tenant", "default"),
+            service=data.get("service"),
         )
 
     # ------------------------------------------------------------------
@@ -235,14 +277,29 @@ def run_campaign(
 
 
 def spec_from_kwargs(config: TestbedConfig, **kwargs: Any) -> CampaignSpec:
-    """Translate the pre-spec kwarg soup into a :class:`CampaignSpec`.
+    """Deprecated: translate the pre-spec kwarg soup into a spec.
 
     Accepts exactly the keywords the old ``Controller(config, ...)`` call
     took (``workers``, ``confirm``, ``sample_every``, ``retries``,
     ``retry_backoff``, ``checkpoint``, ``resume``, ``obs``, plus the newer
     ``cache_dir``/``batch_size``); the shim and its tests share this so
     legacy calls provably build the same spec.
+
+    .. deprecated::
+        Construct :class:`CampaignSpec` directly; this translator will be
+        removed together with :func:`run_campaign_legacy` in the release
+        after next.
     """
+    warnings.warn(
+        "spec_from_kwargs() is deprecated and will be removed in the "
+        "release after next; construct CampaignSpec(...) directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _spec_from_kwargs(config, **kwargs)
+
+
+def _spec_from_kwargs(config: TestbedConfig, **kwargs: Any) -> CampaignSpec:
     retry = RetryPolicy(
         retries=kwargs.pop("retries", 0), backoff=kwargs.pop("retry_backoff", 0.0)
     )
@@ -275,16 +332,20 @@ def run_campaign_legacy(
 ) -> CampaignResult:
     """Deprecated kwarg-style entry point; use :func:`run_campaign`.
 
-    Thin shim: builds the equivalent :class:`CampaignSpec` via
-    :func:`spec_from_kwargs` and delegates.
+    Thin shim: builds the equivalent :class:`CampaignSpec` and delegates.
+
+    .. deprecated::
+        Will be removed in the release after next, together with
+        :func:`spec_from_kwargs`.
     """
     warnings.warn(
-        "run_campaign_legacy(config, **kwargs) is deprecated; build a "
-        "CampaignSpec and call run_campaign(spec)",
+        "run_campaign_legacy(config, **kwargs) is deprecated and will be "
+        "removed in the release after next; build a CampaignSpec and call "
+        "run_campaign(spec)",
         DeprecationWarning,
         stacklevel=2,
     )
-    return run_campaign(spec_from_kwargs(config, **kwargs), progress=progress)
+    return run_campaign(_spec_from_kwargs(config, **kwargs), progress=progress)
 
 
 __all__ = [

@@ -3,12 +3,18 @@
 Commands:
 
 * ``campaign``    — run a full SNAKE campaign against one implementation
+* ``serve``       — run the multi-tenant campaign service (HTTP control plane)
+* ``submit``      — submit a campaign to a running service over HTTP
 * ``worker``      — serve leased work units from a shared fabric store
 * ``top``         — live fleet view of a fabric campaign (from the store)
 * ``baseline``    — run and print the non-attack baseline metrics
 * ``report``      — inspect a recorded campaign's trace/metrics telemetry
 * ``searchspace`` — the Section VI-C injection-model comparison
 * ``variants``    — list the available implementation variants
+
+Shared artifact stores are addressed by URL: ``dir://PATH`` (sharded JSON
+directory), ``sqlite://PATH`` (one WAL database file) or ``memory://NAME``
+(in-process, tests only).  Bare paths still work but are deprecated.
 
 Global ``-v/-vv`` and ``-q`` flags control the standard :mod:`logging`
 output from the ``repro.*`` subsystem loggers (controller, parallel pool,
@@ -373,6 +379,89 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant campaign service (``repro serve``)."""
+    from repro.service.app import CampaignService
+    from repro.service.http import serve
+    from repro.service.quota import TenantQuota, parse_quota_flag
+
+    try:
+        quotas = parse_quota_flag(args.quota) if args.quota else {}
+        default_quota = TenantQuota(
+            max_concurrent_campaigns=args.default_max_campaigns,
+            max_leased_units=args.default_max_units,
+        )
+    except ValueError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+    service = CampaignService(
+        args.store,
+        quotas=quotas,
+        default_quota=default_quota,
+        max_total_campaigns=args.max_campaigns,
+        quarantine_after=args.quarantine_after,
+    )
+    serve(service, host=args.host, port=args.port)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign to a running service (``repro submit``)."""
+    from repro.service.client import ServiceClient, ServiceHTTPError
+
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    else:
+        spec = CampaignSpec(
+            testbed=_testbed_from_args(args),
+            sample_every=args.sample_every,
+            workers=args.workers,
+        )
+        document = spec.to_dict()
+    if args.tenant is not None:
+        document["tenant"] = args.tenant
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        submitted = client.submit(document)
+    except ServiceHTTPError as exc:
+        sys.stderr.write(f"error: submit rejected: {exc}\n")
+        return 2 if exc.status == 422 else 3
+    except OSError as exc:
+        sys.stderr.write(f"error: cannot reach service at "
+                         f"{args.host}:{args.port}: {exc}\n")
+        return 3
+    campaign_id = submitted["campaign_id"]
+    sys.stderr.write(f"campaign {campaign_id} submitted "
+                     f"(tenant {submitted.get('tenant')})\n")
+    if not args.wait:
+        print(json.dumps(submitted, sort_keys=True))
+        return 0
+    try:
+        final = client.wait(campaign_id, timeout=args.timeout)
+    except TimeoutError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 3
+    sys.stderr.write(f"campaign {campaign_id} finished: {final.get('status')}\n")
+    if args.report_out or final.get("status") == "complete":
+        try:
+            report = client.report(campaign_id)
+        except ServiceHTTPError as exc:
+            sys.stderr.write(f"error: report unavailable: {exc}\n")
+            print(json.dumps(final, sort_keys=True))
+            return 1
+        if args.report_out:
+            with open(args.report_out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            sys.stderr.write(f"report written to {args.report_out}\n")
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(json.dumps(final, sort_keys=True))
+    return 0 if final.get("status") == "complete" else 1
+
+
 def cmd_worker(args: argparse.Namespace) -> int:
     """Serve leased fabric work units (``repro worker --store ...``)."""
     from repro.fabric.store import store_for
@@ -416,17 +505,18 @@ def cmd_top(args: argparse.Namespace) -> int:
     store.  The refresh loop exits on its own once the campaign manifest
     goes complete/failed; ``--once`` renders one frame for scripts and CI.
     """
-    from repro.fabric.store import store_for
+    from repro.fabric.store import scoped_store, store_for
     from repro.obs.fleet import FleetAggregator, fleet_overview
 
     store = store_for(args.store)
+    view = scoped_store(store, args.campaign)
     try:
         # one long-lived aggregator, so no-progress straggler detection
         # works across refreshes (heartbeat stalls need only one frame)
-        aggregator = FleetAggregator(store, stall_window=args.stall_window)
+        aggregator = FleetAggregator(view, stall_window=args.stall_window)
         while True:
             overview = fleet_overview(
-                store, stall_window=args.stall_window, aggregator=aggregator
+                view, stall_window=args.stall_window, aggregator=aggregator
             )
             if args.json:
                 print(json.dumps(overview, sort_keys=True))
@@ -438,7 +528,7 @@ def cmd_top(args: argparse.Namespace) -> int:
             if args.once:
                 return 0
             status = (overview.get("manifest") or {}).get("status")
-            if status in ("complete", "failed"):
+            if status in ("complete", "failed", "cancelled"):
                 return 0
             try:
                 time.sleep(args.interval)
@@ -486,16 +576,17 @@ def cmd_report(args: argparse.Namespace) -> int:
             return 2
     overview = None
     if args.store:
-        from repro.fabric.store import store_for
+        from repro.fabric.store import scoped_store, store_for
         from repro.obs.fleet import FleetAggregator, fleet_overview
 
         store = store_for(args.store)
+        view = scoped_store(store, args.campaign)
         try:
-            overview = fleet_overview(store)
+            overview = fleet_overview(view)
             if not snapshot:
                 # every participant publishes its cumulative registry, so
                 # the merge covers coordinator + every worker host
-                snapshot = FleetAggregator(store).merged_metrics(
+                snapshot = FleetAggregator(view).merged_metrics(
                     include_roles=("worker", "coordinator")
                 )
         finally:
@@ -684,9 +775,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="distribute the sweep over a shared artifact store; "
                           "repro worker processes pointed at the same --store "
                           "help execute it (requires --store)")
-    sub.add_argument("--store", metavar="STORE", default=None,
-                     help="shared artifact store: a directory, or sqlite:PATH / "
-                          "*.db for the SQLite backend (with --fabric)")
+    sub.add_argument("--store", metavar="URL", default=None,
+                     help="shared artifact store: dir://PATH, sqlite://PATH or "
+                          "memory://NAME (bare paths deprecated; with --fabric)")
     sub.add_argument("--lease-ttl", type=_positive_float, default=None,
                      help="seconds a claimed work unit may go without a heartbeat "
                           "before other workers may reclaim it (default 30)")
@@ -701,6 +792,72 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(handler=cmd_campaign, parser=sub)
 
     sub = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant campaign service (HTTP control plane)",
+        description="An asyncio HTTP control plane multiplexing N concurrent "
+                    "campaigns on one shared artifact store: POST /campaigns "
+                    "submits a CampaignSpec JSON, GET /campaigns/{id} reports "
+                    "status + fleet health, POST /campaigns/{id}/cancel stops "
+                    "one, GET /campaigns/{id}/report returns the finished "
+                    "report.  Point repro worker processes at the same store "
+                    "to add execution capacity.",
+    )
+    sub.add_argument("--store", metavar="URL", required=True,
+                     help="shared artifact store: dir://PATH, sqlite://PATH or "
+                          "memory://NAME (bare paths deprecated)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    sub.add_argument("--port", type=_nonnegative_int, default=8642,
+                     help="bind port (default 8642; 0 = ephemeral)")
+    sub.add_argument("--quota", metavar="SPEC", default=None,
+                     help="per-tenant quotas: tenant=campaigns:units[,...] "
+                          "(e.g. alice=3:16,bob=1:4)")
+    sub.add_argument("--default-max-campaigns", type=_positive_int, default=2,
+                     help="concurrent campaigns per tenant without an explicit "
+                          "quota (default 2)")
+    sub.add_argument("--default-max-units", type=_positive_int, default=8,
+                     help="live leased units per tenant without an explicit "
+                          "quota (default 8)")
+    sub.add_argument("--max-campaigns", type=_positive_int, default=8,
+                     help="service-wide concurrent-campaign ceiling (default 8)")
+    sub.add_argument("--quarantine-after", type=_positive_int, default=3,
+                     help="consecutive failures before a spec fingerprint is "
+                          "quarantined (default 3)")
+    sub.set_defaults(handler=cmd_serve)
+
+    sub = subparsers.add_parser(
+        "submit",
+        help="submit a campaign to a running service over HTTP",
+        description="POSTs a CampaignSpec to a repro serve control plane and "
+                    "prints the submission (or, with --wait, the final status "
+                    "and report) as JSON on stdout.",
+    )
+    _add_target_arguments(sub)
+    sub.add_argument("--spec", metavar="JSON", default=None,
+                     help="submit this spec file (see campaign --spec-out); "
+                          "overrides the per-field flags")
+    sub.add_argument("--tenant", default=None,
+                     help="tenant the campaign is accounted under "
+                          "(default: the spec's tenant, or 'default')")
+    sub.add_argument("--sample-every", type=_positive_int, default=25,
+                     help="execute 1 in N strategies (without --spec)")
+    sub.add_argument("--workers", type=_positive_int, default=None,
+                     help="worker-pool size hint for the coordinator "
+                          "(without --spec)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="service address (default 127.0.0.1)")
+    sub.add_argument("--port", type=_nonnegative_int, default=8642,
+                     help="service port (default 8642)")
+    sub.add_argument("--wait", action="store_true",
+                     help="poll until the campaign finishes; exit 0 only on "
+                          "'complete'")
+    sub.add_argument("--timeout", type=_positive_float, default=600.0,
+                     help="--wait deadline in seconds (default 600)")
+    sub.add_argument("--report-out", metavar="JSON", default=None,
+                     help="with --wait: also write the campaign report here")
+    sub.set_defaults(handler=cmd_submit)
+
+    sub = subparsers.add_parser(
         "worker",
         help="serve leased work units from a shared fabric store",
         description="Waits for a campaign manifest on the shared store, then "
@@ -709,9 +866,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "host sharing the store) next to a campaign run with "
                     "--fabric --store pointing at the same store.",
     )
-    sub.add_argument("--store", metavar="STORE", required=True,
-                     help="shared artifact store: a directory, or sqlite:PATH / "
-                          "*.db for the SQLite backend")
+    sub.add_argument("--store", metavar="URL", required=True,
+                     help="shared artifact store: dir://PATH, sqlite://PATH or "
+                          "memory://NAME (bare paths deprecated)")
     sub.add_argument("--workers", type=_positive_int, default=1,
                      help="local worker-pool processes for executing unit slots")
     sub.add_argument("--poll", type=_positive_float, default=0.2,
@@ -738,9 +895,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "ETA.  Exits when the campaign manifest goes "
                     "complete/failed.",
     )
-    sub.add_argument("--store", metavar="STORE", required=True,
-                     help="shared artifact store: a directory, or sqlite:PATH / "
-                          "*.db for the SQLite backend")
+    sub.add_argument("--store", metavar="URL", required=True,
+                     help="shared artifact store: dir://PATH, sqlite://PATH or "
+                          "memory://NAME (bare paths deprecated)")
+    sub.add_argument("--campaign", metavar="ID", default=None,
+                     help="watch one service campaign (campaigns/<ID>/... scope) "
+                          "instead of the legacy root campaign")
     sub.add_argument("--interval", type=_positive_float, default=2.0,
                      help="seconds between refreshes (default 2)")
     sub.add_argument("--once", action="store_true",
@@ -770,10 +930,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="without --strategy: how many strategy timelines to show")
     sub.add_argument("--transitions", type=int, default=40,
                      help="max rows in the state-transition audit log")
-    sub.add_argument("--store", metavar="STORE", default=None,
+    sub.add_argument("--store", metavar="URL", default=None,
                      help="also read fleet telemetry from this fabric store "
-                          "(merged cross-host metrics stand in for METRICS "
-                          "when no snapshot file is given)")
+                          "(dir://PATH, sqlite://PATH or memory://NAME; merged "
+                          "cross-host metrics stand in for METRICS when no "
+                          "snapshot file is given)")
+    sub.add_argument("--campaign", metavar="ID", default=None,
+                     help="report on one service campaign (campaigns/<ID>/... "
+                          "scope) instead of the legacy root campaign")
     sub.add_argument("--export-prom", metavar="FILE", default=None,
                      help="write the metrics snapshot in Prometheus text "
                           "exposition format to FILE")

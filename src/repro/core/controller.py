@@ -82,6 +82,12 @@ class CampaignResult:
     #: runs restored from the content-addressed run cache (zero simulator
     #: executions spent), across baseline/sweep/confirm
     cache_hits: int = 0
+    #: simulator executions actually performed for this campaign — fresh
+    #: runs only, cache restores and journal-resumed results excluded.
+    #: Counted from the run outcomes themselves, never from the
+    #: process-wide metrics registry, so it stays exact when several
+    #: campaigns share one process (the campaign service)
+    runs_executed: int = 0
     #: parameter-equivalent strategies collapsed before execution
     strategies_collapsed: int = 0
     #: sweep detections whose confirm run reproduced nothing — kept out of
@@ -312,11 +318,12 @@ class Controller:
         seed: Optional[int] = None,
         cache: Optional[RunCache] = None,
         pool: Optional["WorkerPool"] = None,
-    ) -> Tuple[List[RunOutcome], int]:
+    ) -> Tuple[List[RunOutcome], int, int]:
         """Run one stage, skipping journaled outcomes and journaling new ones.
 
-        Returns the outcomes aligned with ``strategies`` plus the number of
-        slots restored from the journal.
+        Returns the outcomes aligned with ``strategies``, the number of
+        slots restored from the journal, and how many of those restored
+        slots were successful runs (``RunResult``) rather than errors.
         """
         pending = [s for s in strategies if (stage, s.strategy_id) not in completed]
 
@@ -357,7 +364,11 @@ class Controller:
             for s in strategies
         ]
         restored = len(strategies) - len(pending)
-        return outcomes, restored  # type: ignore[return-value]
+        restored_results = sum(
+            1 for s in strategies
+            if isinstance(completed.get((stage, s.strategy_id)), RunResult)
+        )
+        return outcomes, restored, restored_results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def run_campaign(
@@ -462,7 +473,7 @@ class Controller:
                 competing_bytes_std=round(baseline.competing_bytes_std, 2),
                 lingering_std=round(baseline.lingering_std, 4),
             )
-        outcomes, resumed = self._run_stage(
+        outcomes, resumed, resumed_results = self._run_stage(
             STAGE_SWEEP, strategies, completed, journal, report, cache=cache, pool=pool
         )
         errors: List[RunError] = [o for o in outcomes if isinstance(o, RunError)]
@@ -480,7 +491,7 @@ class Controller:
         retries_performed = sum(o.attempts - 1 for o in outcomes)
         all_runs: List[RunResult] = [o for o in outcomes if isinstance(o, RunResult)]
         if self.confirm and candidates:
-            confirm_outcomes, confirm_resumed = self._run_stage(
+            confirm_outcomes, confirm_resumed, confirm_resumed_results = self._run_stage(
                 STAGE_CONFIRM,
                 [strategy for strategy, _ in candidates],
                 completed,
@@ -491,6 +502,7 @@ class Controller:
                 pool=pool,
             )
             resumed += confirm_resumed
+            resumed_results += confirm_resumed_results
             retries_performed += sum(o.attempts - 1 for o in confirm_outcomes)
             all_runs.extend(o for o in confirm_outcomes if isinstance(o, RunResult))
             for (strategy, first), rerun in zip(candidates, confirm_outcomes):
@@ -526,6 +538,12 @@ class Controller:
         clusters = cluster_attacks(true_strategies)
 
         cache_hits = sum(1 for r in (*baseline_runs, *all_runs) if r.cached)
+        # exact per-campaign execution count: everything in the result set
+        # that was neither a cache restore nor a journal resume was run by
+        # this campaign (locally or by its fabric fleet)
+        runs_executed = (
+            len(baseline_runs) + len(all_runs) - cache_hits - resumed_results
+        )
         self._finish_profiles(all_runs, errors)
         metrics_snapshot = METRICS.snapshot() if METRICS.enabled else {}
         if BUS.enabled:
@@ -554,6 +572,7 @@ class Controller:
             retries_performed=retries_performed,
             resumed_count=resumed,
             cache_hits=cache_hits,
+            runs_executed=runs_executed,
             strategies_collapsed=dedup.collapsed_count,
             flaky=flaky,
             quarantined_count=sum(1 for e in errors if e.kind == KIND_QUARANTINED),

@@ -19,8 +19,10 @@ from typing import Any, Dict
 class FabricConfig:
     """Distribution settings for a fabric campaign.
 
-    ``store`` names the shared artifact store (a directory path, or
-    ``sqlite:PATH`` / ``*.db`` for the SQLite backend).  ``lease_ttl`` is
+    ``store`` names the shared artifact store as a URL —
+    ``dir://PATH``, ``sqlite://PATH`` or ``memory://NAME`` (bare paths
+    still work but are deprecated; see
+    :func:`repro.fabric.store.store_for`).  ``lease_ttl`` is
     how long a claimed unit may go without a heartbeat before any other
     participant may reclaim it; it bounds the stall after a SIGKILL.
     ``lease_size`` is strategies per claimable unit — small units spread

@@ -252,6 +252,28 @@ class LeaseQueue:
         states = self.states()
         return bool(states) and all(state == STATE_DONE for state in states.values())
 
+    def leased_count(self, owner: Optional[str] = None) -> int:
+        """Live (unexpired) leases right now, optionally for one owner.
+
+        This is what tenant quota enforcement reads: the number of units a
+        tenant's campaigns currently hold across the fleet.
+        """
+        now = time.time()
+        total = 0
+        for unit_id in self.store.keys(NS_LEASES):
+            try:
+                lease = self.store.get(NS_LEASES, unit_id)
+            except Exception:
+                continue
+            if (lease or {}).get("state") != STATE_LEASED:
+                continue
+            if (lease or {}).get("expires_at", 0.0) <= now:
+                continue
+            if owner is not None and lease.get("owner") != owner:
+                continue
+            total += 1
+        return total
+
     def reclaim_total(self) -> int:
         """Total reclaims recorded across all lease records (store-wide)."""
         total = 0

@@ -79,5 +79,9 @@ class ResultLedger:
             return None
         return outcome
 
+    def committed_count(self) -> int:
+        """Number of results committed to the store (readable or not)."""
+        return self.store.count(NS_RESULTS)
+
 
 __all__ = ["NS_RESULTS", "ResultLedger", "result_key"]

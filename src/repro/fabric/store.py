@@ -48,6 +48,7 @@ import sqlite3
 import tempfile
 import threading
 import time
+import warnings
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
@@ -285,6 +286,101 @@ class LocalDirStore(ArtifactStore):
         return sorted(found)
 
 
+class MemoryStore(ArtifactStore):
+    """In-process store for tests and single-process service setups.
+
+    Documents are kept as serialized JSON text (so the torn-write fault
+    hook and :class:`StoreCorrupt` behave exactly like the disk backends)
+    behind one lock.  ``memory://<name>`` URLs resolve to a per-process
+    registry, so a coordinator thread and worker threads opening the same
+    name share one store — but nothing crosses a process boundary, which
+    is the whole point of the other backends.
+    """
+
+    _registry: Dict[str, "MemoryStore"] = {}
+    _registry_lock = threading.Lock()
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._lock = threading.Lock()
+        self._documents: Dict[tuple, str] = {}
+
+    @classmethod
+    def named(cls, name: str) -> "MemoryStore":
+        """The process-wide store registered under ``name`` (created once)."""
+        with cls._registry_lock:
+            store = cls._registry.get(name)
+            if store is None:
+                store = cls._registry[name] = cls(name)
+            return store
+
+    @classmethod
+    def reset_registry(cls) -> None:
+        """Drop every named store (test isolation)."""
+        with cls._registry_lock:
+            cls._registry.clear()
+
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            text = self._documents.get((namespace, key))
+        if text is None:
+            return None
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreCorrupt(f"memory://{self.name}/{namespace}/{key}: {exc}") from exc
+        if not isinstance(document, dict):
+            raise StoreCorrupt(
+                f"memory://{self.name}/{namespace}/{key}: expected a JSON object"
+            )
+        return document
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        text = _maybe_tear(namespace, json.dumps(payload, sort_keys=True))
+        with self._lock:
+            self._documents[(namespace, key)] = text
+
+    def put_if_absent(self, namespace: str, key: str, payload: Dict[str, Any]) -> bool:
+        text = _maybe_tear(namespace, json.dumps(payload, sort_keys=True))
+        with self._lock:
+            if (namespace, key) in self._documents:
+                return False
+            self._documents[(namespace, key)] = text
+            return True
+
+    def update(
+        self,
+        namespace: str,
+        key: str,
+        fn: Callable[[Optional[Dict[str, Any]]], Optional[Dict[str, Any]]],
+    ) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            text = self._documents.get((namespace, key))
+            current: Optional[Dict[str, Any]] = None
+            if text is not None:
+                try:
+                    parsed = json.loads(text)
+                    current = parsed if isinstance(parsed, dict) else None
+                except json.JSONDecodeError:
+                    current = None  # torn record: let fn overwrite it
+            successor = fn(current)
+            if successor is None:
+                return current
+            self._documents[(namespace, key)] = _maybe_tear(
+                namespace, json.dumps(successor, sort_keys=True)
+            )
+            return successor
+
+    def delete(self, namespace: str, key: str) -> bool:
+        with self._lock:
+            return self._documents.pop((namespace, key), None) is not None
+
+    def keys(self, namespace: str) -> List[str]:
+        with self._lock:
+            return sorted(k for ns, k in self._documents if ns == namespace)
+
+
 class SQLiteStore(ArtifactStore):
     """One SQLite database as the shared store (safe for concurrent writers).
 
@@ -473,13 +569,169 @@ def clear_statuses(store: ArtifactStore) -> int:
     return removed
 
 
-def store_for(spec: str) -> ArtifactStore:
-    """Open the artifact store named by a CLI/spec string.
+# ----------------------------------------------------------------------
+# multi-campaign layout: campaign-scoped namespaces + the campaign index
+# ----------------------------------------------------------------------
+#: root prefix under which every campaign's private namespaces live
+CAMPAIGNS_PREFIX = "campaigns"
 
-    ``sqlite:PATH`` or a path ending in ``.db``/``.sqlite``/``.sqlite3``
-    opens a :class:`SQLiteStore`; anything else is a :class:`LocalDirStore`
-    directory.
+#: the campaign index: one record per submitted campaign, keyed by
+#: campaign id — ``{campaign_id, tenant, spec_fingerprint, status,
+#: max_leased_units, created_at, updated_at}``.  Workers poll it to find
+#: claimable campaigns; the service folds it into quota accounting.
+NS_CAMPAIGN_INDEX = "campaign-index"
+
+CAMPAIGN_RUNNING = "running"
+CAMPAIGN_COMPLETE = "complete"
+CAMPAIGN_FAILED = "failed"
+CAMPAIGN_CANCELLED = "cancelled"
+
+#: index states that mean "a worker may still find work here"
+ACTIVE_CAMPAIGN_STATES = (CAMPAIGN_RUNNING,)
+
+
+def campaign_namespace(campaign_id: str, namespace: str) -> str:
+    """The scoped name of one campaign-private namespace.
+
+    ``campaigns/<id>/<ns>`` keeps every campaign's manifest, leases,
+    ledger and telemetry disjoint on one shared store; the run cache
+    (``runs``) deliberately stays at the root so identical runs are shared
+    across campaigns and tenants.
     """
+    return f"{CAMPAIGNS_PREFIX}/{campaign_id}/{namespace}"
+
+
+class CampaignScopedStore(ArtifactStore):
+    """A view of a base store with every namespace keyed under one campaign.
+
+    The scoped view is what :class:`~repro.fabric.leases.LeaseQueue`,
+    :class:`~repro.fabric.ledger.ResultLedger` and the fleet telemetry
+    plane operate on in the multi-campaign layout — none of them know
+    campaigns exist.  ``close`` is a no-op: the base store's lifecycle
+    belongs to whoever opened it, and many scopes share one base.
+    """
+
+    def __init__(self, base: ArtifactStore, campaign_id: str):
+        if not campaign_id:
+            raise ValueError("campaign_id must be non-empty")
+        self.base = base
+        self.campaign_id = campaign_id
+
+    def _ns(self, namespace: str) -> str:
+        return campaign_namespace(self.campaign_id, namespace)
+
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        return self.base.get(self._ns(namespace), key)
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        self.base.put(self._ns(namespace), key, payload)
+
+    def put_if_absent(self, namespace: str, key: str, payload: Dict[str, Any]) -> bool:
+        return self.base.put_if_absent(self._ns(namespace), key, payload)
+
+    def update(
+        self,
+        namespace: str,
+        key: str,
+        fn: Callable[[Optional[Dict[str, Any]]], Optional[Dict[str, Any]]],
+    ) -> Optional[Dict[str, Any]]:
+        return self.base.update(self._ns(namespace), key, fn)
+
+    def delete(self, namespace: str, key: str) -> bool:
+        return self.base.delete(self._ns(namespace), key)
+
+    def keys(self, namespace: str) -> List[str]:
+        return self.base.keys(self._ns(namespace))
+
+    def count(self, namespace: str) -> int:
+        return self.base.count(self._ns(namespace))
+
+    def close(self) -> None:
+        pass  # the base store belongs to whoever opened it
+
+
+def scoped_store(store: ArtifactStore, campaign_id: Optional[str]) -> ArtifactStore:
+    """The campaign-scoped view of ``store`` (identity for the legacy
+    single-campaign root layout, ``campaign_id=None``)."""
+    if campaign_id is None:
+        return store
+    return CampaignScopedStore(store, campaign_id)
+
+
+def register_campaign(
+    store: ArtifactStore, campaign_id: str, record: Dict[str, Any]
+) -> bool:
+    """Add one campaign to the index; ``True`` iff this call created it."""
+    return store.put_if_absent(NS_CAMPAIGN_INDEX, campaign_id, record)
+
+
+def update_campaign(
+    store: ArtifactStore, campaign_id: str, **changes: Any
+) -> Optional[Dict[str, Any]]:
+    """Merge ``changes`` into one index record (atomic; stamps updated_at)."""
+
+    def merge(current: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        record = dict(current or {"campaign_id": campaign_id})
+        record.update(changes)
+        record["updated_at"] = time.time()
+        return record
+
+    return store.update(NS_CAMPAIGN_INDEX, campaign_id, merge)
+
+
+def load_campaign_index(store: ArtifactStore) -> Dict[str, Dict[str, Any]]:
+    """Every readable index record, keyed by campaign id (torn skipped)."""
+    records: Dict[str, Dict[str, Any]] = {}
+    for campaign_id in store.keys(NS_CAMPAIGN_INDEX):
+        try:
+            record = store.get(NS_CAMPAIGN_INDEX, campaign_id)
+        except StoreCorrupt:
+            continue
+        if record is not None:
+            records[campaign_id] = record
+    return records
+
+
+# ----------------------------------------------------------------------
+# store addressing
+# ----------------------------------------------------------------------
+#: recognized store-URL schemes (``scheme://rest``)
+STORE_SCHEMES = ("dir", "sqlite", "memory")
+
+
+def store_for(spec: str) -> ArtifactStore:
+    """Open the artifact store named by a CLI/spec/manifest string.
+
+    Addressing is URL-scheme based:
+
+    * ``dir://PATH``    — sharded-JSON :class:`LocalDirStore` directory
+    * ``sqlite://PATH`` — WAL-mode :class:`SQLiteStore` database file
+    * ``memory://NAME`` — process-local :class:`MemoryStore` (tests and
+      single-process service setups; one shared instance per name)
+
+    Bare paths keep working for back-compat — ``sqlite:PATH`` or a path
+    ending in ``.db``/``.sqlite``/``.sqlite3`` opens a SQLite store,
+    anything else a local-dir store — but emit a :class:`DeprecationWarning`;
+    spell the scheme out in new specs, manifests and ``--store`` flags.
+    """
+    scheme, sep, rest = spec.partition("://")
+    if sep:
+        if scheme == "dir":
+            return LocalDirStore(rest)
+        if scheme == "sqlite":
+            return SQLiteStore(rest)
+        if scheme == "memory":
+            return MemoryStore.named(rest)
+        raise ValueError(
+            f"unknown store scheme {scheme!r} in {spec!r}; "
+            f"expected one of {', '.join(s + '://' for s in STORE_SCHEMES)}"
+        )
+    warnings.warn(
+        f"bare store path {spec!r} is deprecated; use an explicit scheme "
+        "(dir://PATH, sqlite://PATH, memory://NAME)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if spec.startswith("sqlite:"):
         return SQLiteStore(spec[len("sqlite:"):])
     if spec.endswith((".db", ".sqlite", ".sqlite3")):

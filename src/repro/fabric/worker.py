@@ -39,7 +39,7 @@ import socket
 import threading
 import time
 import uuid
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Set
 
 from repro.api import CampaignSpec
 from repro.core.cache import RunCache
@@ -49,7 +49,13 @@ from repro.core.strategy import Strategy
 from repro.core.supervisor import SupervisedWorkerPool
 from repro.fabric.ledger import ResultLedger
 from repro.fabric.leases import LeaseQueue
-from repro.fabric.store import FAULT_ENV, ArtifactStore
+from repro.fabric.store import (
+    ACTIVE_CAMPAIGN_STATES,
+    FAULT_ENV,
+    ArtifactStore,
+    load_campaign_index,
+    scoped_store,
+)
 from repro.obs.bus import BUS
 from repro.obs.config import ObsConfig, configure_observability
 from repro.obs.fleet import (
@@ -68,6 +74,11 @@ KEY_MANIFEST = "manifest"
 MANIFEST_RUNNING = "running"
 MANIFEST_COMPLETE = "complete"
 MANIFEST_FAILED = "failed"
+MANIFEST_CANCELLING = "cancelling"
+MANIFEST_CANCELLED = "cancelled"
+
+#: manifest states after which a campaign will never need workers again
+MANIFEST_TERMINAL = (MANIFEST_COMPLETE, MANIFEST_FAILED, MANIFEST_CANCELLED)
 
 
 def default_worker_id() -> str:
@@ -104,6 +115,61 @@ def _fault(mode: str) -> Optional[str]:
     return raw if got == mode else None
 
 
+class _CampaignContext:
+    """Everything the worker needs to serve one campaign on a shared store.
+
+    A context binds the campaign's *view* of the store (the root for the
+    legacy single-campaign layout, ``campaigns/<id>/...`` otherwise) to
+    its lease queue, ledger, fleet publisher and lazily-started worker
+    pool.  The run cache is deliberately *not* per-context: identical runs
+    are shared across campaigns and tenants at the store root.
+    """
+
+    def __init__(
+        self,
+        worker: "FabricWorker",
+        campaign_id: Optional[str],
+        record: Optional[Dict[str, Any]],
+        manifest: Dict[str, Any],
+        cache: RunCache,
+    ):
+        self.campaign_id = campaign_id  # None = legacy root layout
+        self.tenant = str((record or {}).get("tenant", "default"))
+        raw_quota = (record or {}).get("max_leased_units")
+        self.max_leased_units: Optional[int] = (
+            None if raw_quota is None else int(raw_quota)
+        )
+        self.store = scoped_store(worker.store, campaign_id)
+        self.spec = CampaignSpec.from_dict(manifest["spec"])
+        self.queue = LeaseQueue(self.store, ttl=float(manifest.get("lease_ttl", 30.0)))
+        self.ledger = ResultLedger(self.store)
+        self.cache = cache
+        self.fleet: Optional[FleetPublisher] = None
+        interval = float(manifest.get("telemetry_interval", 0.0) or 0.0)
+        if interval > 0:
+            self.fleet = FleetPublisher(
+                self.store,
+                worker.worker_id,
+                role="worker",
+                interval=interval,
+                spec_fingerprint=manifest.get("spec_fingerprint"),
+            )
+        self._worker = worker
+        self._pool: Optional[WorkerPool] = None
+
+    def pool(self) -> WorkerPool:
+        """The per-campaign worker pool, started on first use."""
+        if self._pool is None:
+            self._pool = self._worker._make_pool(self.spec)
+            self._pool.__enter__()
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.__exit__(None, None, None)
+            self._pool = None
+
+
 class FabricWorker:
     """One per-host agent pulling leased units from a shared store."""
 
@@ -126,6 +192,12 @@ class FabricWorker:
         #: fleet-telemetry publisher; attached by :meth:`enable_telemetry`
         #: (the interval comes from the campaign manifest)
         self.fleet: Optional[FleetPublisher] = None
+        #: distinct campaigns this worker has executed units for (``None``
+        #: marks the legacy root campaign) — fairness tests read this
+        self.served_campaigns: Set[Optional[str]] = set()
+        self._rotation = 0
+        self._legacy_seen = False
+        self._obs_configured = False
         self._commits_until_crash: Optional[int] = None
         raw = _fault("fabric-commit-crash")
         if raw is not None:
@@ -277,47 +349,155 @@ class FabricWorker:
         return True
 
     # ------------------------------------------------------------------
+    def _on_context(self, ctx: _CampaignContext) -> None:
+        """First sighting of a campaign: enable obs/telemetry as needed."""
+        if ctx.fleet is not None and (self.obs is None or not self.obs.metrics):
+            # the coordinator strips ``obs`` from the worker spec, so a
+            # telemetry-carrying campaign must self-enable metrics
+            self.obs = (
+                ObsConfig(metrics=True)
+                if self.obs is None
+                else dataclasses.replace(self.obs, metrics=True)
+            )
+        if self.obs is not None and not self._obs_configured:
+            configure_observability(self.obs)
+            self._obs_configured = True
+        self.fleet = ctx.fleet
+        self._publish(PHASE_IDLE, force=True)
+
+    def _retire(self, ctx: _CampaignContext) -> None:
+        # an exited record is never a straggler; cumulative stats and
+        # metrics stay readable for the coordinator's final fold
+        self.fleet = ctx.fleet
+        self._publish(PHASE_EXITED, force=True)
+        ctx.close()
+
+    def _refresh_contexts(
+        self, contexts: Dict[str, _CampaignContext], shared_cache: RunCache
+    ) -> List[_CampaignContext]:
+        """Sync the context map with the store; return servable campaigns.
+
+        Both layouts are discovered every pass: the legacy root manifest
+        (key ``""``) and every index campaign whose record *and* scoped
+        manifest say running.  Contexts for ended campaigns are retired
+        (pool shut down, exited status published).
+        """
+        active: List[_CampaignContext] = []
+        alive = set()
+        manifest = self._manifest()
+        if manifest is not None and manifest.get("status") == MANIFEST_RUNNING:
+            ctx = contexts.get("")
+            if ctx is None:
+                ctx = _CampaignContext(self, None, None, manifest, shared_cache)
+                contexts[""] = ctx
+                self._legacy_seen = True
+                self._on_context(ctx)
+            alive.add("")
+            active.append(ctx)
+        for campaign_id, record in sorted(load_campaign_index(self.store).items()):
+            if record.get("status") not in ACTIVE_CAMPAIGN_STATES:
+                continue
+            ctx = contexts.get(campaign_id)
+            if ctx is None:
+                view = scoped_store(self.store, campaign_id)
+                try:
+                    scoped = view.get(NS_CAMPAIGN, KEY_MANIFEST)
+                except Exception:
+                    scoped = None
+                if scoped is None or scoped.get("status") != MANIFEST_RUNNING:
+                    continue  # submitted but no coordinator driving it yet
+                ctx = _CampaignContext(self, campaign_id, record, scoped, shared_cache)
+                contexts[campaign_id] = ctx
+                self._on_context(ctx)
+            else:
+                try:
+                    scoped = ctx.store.get(NS_CAMPAIGN, KEY_MANIFEST)
+                except Exception:
+                    scoped = None
+                if scoped is None or scoped.get("status") != MANIFEST_RUNNING:
+                    continue  # retired below
+            alive.add(campaign_id)
+            active.append(ctx)
+        for key in [k for k in contexts if k not in alive]:
+            self._retire(contexts.pop(key))
+        return active
+
+    def _quota_blocked(
+        self, ctx: _CampaignContext, active: List[_CampaignContext]
+    ) -> bool:
+        """True when claiming for ``ctx`` would put its tenant over quota.
+
+        The quota is fleet-wide: live leases held across *all* of the
+        tenant's campaigns, by any worker, count against it.
+        """
+        if ctx.max_leased_units is None:
+            return False
+        held = sum(c.queue.leased_count() for c in active if c.tenant == ctx.tenant)
+        if held >= ctx.max_leased_units:
+            METRICS.inc("fabric.quota.deferrals")
+            return True
+        return False
+
+    def _rotate(self, active: List[_CampaignContext]) -> List[_CampaignContext]:
+        """Round-robin view of ``active``: each pass starts one further
+        along, so no campaign monopolizes a worker while others starve."""
+        start = self._rotation % len(active)
+        self._rotation += 1
+        return active[start:] + active[:start]
+
     def run(
         self,
         once: bool = False,
         idle_exit: Optional[float] = None,
         manifest_timeout: Optional[float] = None,
     ) -> Dict[str, int]:
-        """Serve units until the campaign ends (or ``once``/``idle_exit``).
+        """Serve units until the campaign(s) end (or ``once``/``idle_exit``).
 
-        ``idle_exit`` seconds with neither claimable work nor a running
-        campaign ends the loop — CI uses it so orphaned workers cannot
-        outlive their test.
+        The worker serves both store layouts at once: the legacy root
+        manifest (``repro campaign --fabric``) keeps its original
+        semantics — wait for it, drain it, exit when it ends — and every
+        running campaign in the multi-campaign index (the service) is
+        served round-robin, skipping campaigns whose tenant is at its
+        leased-units quota.
+
+        ``manifest_timeout`` bounds the initial wait for any campaign to
+        appear; ``idle_exit`` seconds with neither claimable work nor a
+        running campaign ends the loop — CI uses it so orphaned workers
+        cannot outlive their test.
         """
-        manifest = self._wait_for_manifest(manifest_timeout)
-        if manifest is None or manifest.get("status") != MANIFEST_RUNNING:
-            log.info("worker %s: no running campaign manifest; exiting", self.worker_id)
-            return self.stats
-        spec = CampaignSpec.from_dict(manifest["spec"])
-        self.enable_telemetry(
-            float(manifest.get("telemetry_interval", 0.0) or 0.0),
-            manifest.get("spec_fingerprint"),
+        deadline = (
+            None if manifest_timeout is None else time.monotonic() + manifest_timeout
         )
-        if self.obs is not None:
-            configure_observability(self.obs)
-        ttl = float(manifest.get("lease_ttl", 30.0))
-        queue = LeaseQueue(self.store, ttl=ttl)
-        cache = RunCache(self.store)
+        contexts: Dict[str, _CampaignContext] = {}
+        shared_cache = RunCache(self.store)
         idle_since: Optional[float] = None
-        self._publish(PHASE_IDLE, force=True)
+        seen_work = False
+        index_seen = False
         try:
-            with self._make_pool(spec) as pool:
-                while True:
-                    served = self.run_one(spec, queue, cache, pool)
-                    if served:
-                        idle_since = None
-                        if once:
+            while True:
+                active = self._refresh_contexts(contexts, shared_cache)
+                index_seen = index_seen or any(
+                    c.campaign_id is not None for c in active
+                )
+                if not active:
+                    if not seen_work:
+                        manifest = self._manifest()
+                        if (
+                            manifest is not None
+                            and manifest.get("status") != MANIFEST_RUNNING
+                            and not load_campaign_index(self.store)
+                        ):
+                            log.info("worker %s: campaign already over; exiting",
+                                     self.worker_id)
                             return self.stats
+                        if deadline is not None and time.monotonic() > deadline:
+                            log.info("worker %s: no running campaign manifest; "
+                                     "exiting", self.worker_id)
+                            return self.stats
+                        time.sleep(self.poll_interval)
                         continue
-                    manifest = self._manifest()
-                    status = (manifest or {}).get("status")
-                    if status in (MANIFEST_COMPLETE, MANIFEST_FAILED) or manifest is None:
-                        return self.stats
+                    if self._legacy_seen and not index_seen:
+                        return self.stats  # the root campaign ended; drain out
                     if once:
                         return self.stats
                     now = time.monotonic()
@@ -327,12 +507,40 @@ class FabricWorker:
                         log.info("worker %s: idle for %.1fs; exiting",
                                  self.worker_id, idle_exit)
                         return self.stats
-                    self._publish(PHASE_IDLE)
                     time.sleep(self.poll_interval)
+                    continue
+                seen_work = True
+                served = False
+                for ctx in self._rotate(active):
+                    if self._quota_blocked(ctx, active):
+                        continue
+                    self.fleet = ctx.fleet
+                    self.ledger = ctx.ledger
+                    if self.run_one(ctx.spec, ctx.queue, ctx.cache, ctx.pool()):
+                        self.served_campaigns.add(ctx.campaign_id)
+                        served = True
+                        break
+                if served:
+                    idle_since = None
+                    if once:
+                        return self.stats
+                    continue
+                if once:
+                    return self.stats
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if idle_exit is not None and now - idle_since > idle_exit:
+                    log.info("worker %s: idle for %.1fs; exiting",
+                             self.worker_id, idle_exit)
+                    return self.stats
+                for ctx in active:
+                    self.fleet = ctx.fleet
+                    self._publish(PHASE_IDLE)
+                time.sleep(self.poll_interval)
         finally:
-            # an exited record is never a straggler; cumulative stats and
-            # metrics stay readable for the coordinator's final fold
-            self._publish(PHASE_EXITED, force=True)
+            for ctx in contexts.values():
+                self._retire(ctx)
 
     def _make_pool(self, spec: CampaignSpec) -> WorkerPool:
         if spec.supervision is not None and spec.supervision.enabled:
@@ -344,9 +552,12 @@ class FabricWorker:
 
 __all__ = [
     "KEY_MANIFEST",
+    "MANIFEST_CANCELLED",
+    "MANIFEST_CANCELLING",
     "MANIFEST_COMPLETE",
     "MANIFEST_FAILED",
     "MANIFEST_RUNNING",
+    "MANIFEST_TERMINAL",
     "NS_CAMPAIGN",
     "FabricWorker",
     "decode_strategy",

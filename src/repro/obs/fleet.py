@@ -398,6 +398,8 @@ def fleet_overview(
             "spec_fingerprint": manifest.get("spec_fingerprint"),
             "created_at": manifest.get("created_at"),
             "lease_ttl": manifest.get("lease_ttl"),
+            "campaign_id": manifest.get("campaign_id"),
+            "tenant": manifest.get("tenant"),
         },
         "workers": fleet["workers"],
         "stragglers": fleet["stragglers"],

@@ -1,0 +1,100 @@
+"""Tiny stdlib HTTP client for the campaign service.
+
+``repro submit`` and the e2e tests talk to the control plane through
+this; it is deliberately dumb — one request, one JSON document back,
+non-2xx raised as :class:`ServiceHTTPError` with the server's error
+payload attached.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceHTTPError(Exception):
+    """A non-2xx response; carries the decoded error payload."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+
+
+class ServiceClient:
+    """One service endpoint (``host:port``), stateless per request."""
+
+    def __init__(self, host: str, port: int, timeout: float = DEFAULT_TIMEOUT):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- wire
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                document = json.loads(raw) if raw else {}
+            except ValueError:
+                document = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServiceHTTPError(response.status, document)
+            return document
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------- verbs
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def submit(self, spec_document: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/campaigns", body=spec_document)
+
+    def list_campaigns(self) -> Dict[str, Any]:
+        return self.request("GET", "/campaigns")
+
+    def status(self, campaign_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/campaigns/{campaign_id}")
+
+    def cancel(self, campaign_id: str) -> Dict[str, Any]:
+        return self.request("POST", f"/campaigns/{campaign_id}/cancel")
+
+    def report(self, campaign_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/campaigns/{campaign_id}/report")
+
+    # -------------------------------------------------------- conveniences
+    def wait(
+        self,
+        campaign_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.5,
+    ) -> Dict[str, Any]:
+        """Poll until the campaign leaves ``running``; returns the final
+        status document (raises ``TimeoutError`` otherwise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(campaign_id)
+            # "pending" is the handle's pre-drive instant; not terminal
+            if status.get("status") not in ("pending", "running"):
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still running after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+
+__all__ = ["ServiceClient", "ServiceHTTPError", "DEFAULT_TIMEOUT"]

@@ -1,0 +1,68 @@
+"""Per-tenant quotas: the service's two admission knobs.
+
+A tenant is just a string on the spec (``CampaignSpec.tenant``) — the
+service attaches no identity or auth semantics to it; it is the unit of
+fair-share accounting.  Each tenant gets:
+
+- ``max_concurrent_campaigns`` — enforced at submit time by
+  :class:`~repro.service.app.CampaignService` (HTTP 429 when exceeded);
+- ``max_leased_units`` — enforced at *claim* time by every
+  :class:`~repro.fabric.worker.FabricWorker`, which reads the limit from
+  the campaign-index record and skips claiming for a tenant whose
+  campaigns already hold that many live leases, fleet-wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+DEFAULT_MAX_CONCURRENT_CAMPAIGNS = 2
+DEFAULT_MAX_LEASED_UNITS = 8
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission limits (immutable; swap to change)."""
+
+    max_concurrent_campaigns: int = DEFAULT_MAX_CONCURRENT_CAMPAIGNS
+    max_leased_units: int = DEFAULT_MAX_LEASED_UNITS
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_campaigns < 1:
+            raise ValueError("max_concurrent_campaigns must be >= 1")
+        if self.max_leased_units < 1:
+            raise ValueError("max_leased_units must be >= 1")
+
+
+def parse_quota_flag(raw: str) -> Dict[str, TenantQuota]:
+    """Parse a ``--quota`` flag: ``tenant=campaigns:units[,tenant=...]``.
+
+    >>> parse_quota_flag("alice=3:16,bob=1:4")["alice"].max_leased_units
+    16
+    """
+    quotas: Dict[str, TenantQuota] = {}
+    for entry in filter(None, (piece.strip() for piece in raw.split(","))):
+        tenant, sep, limits = entry.partition("=")
+        if not sep or not tenant:
+            raise ValueError(
+                f"bad quota entry {entry!r}; expected tenant=campaigns:units"
+            )
+        campaigns, sep, units = limits.partition(":")
+        if not sep:
+            raise ValueError(
+                f"bad quota entry {entry!r}; expected tenant=campaigns:units"
+            )
+        quotas[tenant.strip()] = TenantQuota(
+            max_concurrent_campaigns=int(campaigns),
+            max_leased_units=int(units),
+        )
+    return quotas
+
+
+__all__ = [
+    "DEFAULT_MAX_CONCURRENT_CAMPAIGNS",
+    "DEFAULT_MAX_LEASED_UNITS",
+    "TenantQuota",
+    "parse_quota_flag",
+]

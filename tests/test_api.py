@@ -67,6 +67,24 @@ class TestSpecRoundTrip:
         data["obs"]["future_knob"] = 4
         assert CampaignSpec.from_dict(data) == _custom_spec()
 
+    def test_v1_documents_upgrade_to_v2(self):
+        # a spec written before tenant/service existed: the upgrade hook
+        # chain fills in the v2 defaults and the round-trip is exact
+        data = _custom_spec().to_dict()
+        data["version"] = 1
+        del data["tenant"]
+        del data["service"]
+        restored = CampaignSpec.from_dict(data)
+        assert restored == _custom_spec()
+        assert restored.tenant == "default" and restored.service is None
+
+    def test_tenant_and_service_round_trip_and_stay_neutral(self):
+        spec = _custom_spec(tenant="alice", service={"note": "nightly"})
+        restored = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        # multi-tenancy is accounting, not computation: identity unchanged
+        assert spec.fingerprint() == _custom_spec().fingerprint()
+
     def test_with_overrides_returns_modified_copy(self):
         spec = _custom_spec()
         other = spec.with_overrides(cache_dir=None, batch_size=16)
@@ -98,12 +116,13 @@ class TestFingerprint:
 class TestLegacyShim:
     def test_kwargs_build_the_equivalent_spec(self):
         config = TestbedConfig(protocol="tcp")
-        spec = spec_from_kwargs(
-            config, workers=3, confirm=False, sample_every=7, retries=2,
-            retry_backoff=0.5, checkpoint="j.jsonl", resume=True,
-            cache_dir="runcache", batch_size=4, obs=ObsConfig(metrics=True),
-            generation=GenerationConfig(drop_percents=(25, 75)),
-        )
+        with pytest.warns(DeprecationWarning, match="CampaignSpec"):
+            spec = spec_from_kwargs(
+                config, workers=3, confirm=False, sample_every=7, retries=2,
+                retry_backoff=0.5, checkpoint="j.jsonl", resume=True,
+                cache_dir="runcache", batch_size=4, obs=ObsConfig(metrics=True),
+                generation=GenerationConfig(drop_percents=(25, 75)),
+            )
         assert spec == CampaignSpec(
             testbed=config,
             generation=GenerationConfig(drop_percents=(25, 75)),
@@ -114,8 +133,9 @@ class TestLegacyShim:
         )
 
     def test_unknown_kwarg_rejected(self):
-        with pytest.raises(TypeError, match="worksers"):
-            spec_from_kwargs(TestbedConfig(), worksers=2)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="worksers"):
+                spec_from_kwargs(TestbedConfig(), worksers=2)
 
     def test_legacy_entry_point_warns_and_matches_spec_path(self):
         config = TestbedConfig(protocol="tcp", variant="linux-3.13")

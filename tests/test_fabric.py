@@ -31,11 +31,16 @@ from repro.core.strategy import Strategy
 from repro.fabric import (
     LeaseQueue,
     LocalDirStore,
+    MemoryStore,
     ResultLedger,
     SQLiteStore,
     StoreCorrupt,
+    load_campaign_index,
+    register_campaign,
+    scoped_store,
     store_for,
     unit_fingerprint,
+    update_campaign,
 )
 from repro.fabric.config import FabricConfig
 from repro.fabric.leases import NS_LEASES, NS_UNITS
@@ -155,15 +160,62 @@ class TestArtifactStore:
 
 
 class TestStoreFor:
-    def test_dispatch(self, tmp_path):
-        assert isinstance(store_for(str(tmp_path / "plain")), LocalDirStore)
-        for name in ("s.db", "s.sqlite", "s.sqlite3"):
-            backend = store_for(str(tmp_path / name))
-            assert isinstance(backend, SQLiteStore)
-            backend.close()
-        backend = store_for("sqlite:" + str(tmp_path / "odd-extension"))
+    def test_url_schemes_dispatch(self, tmp_path):
+        backend = store_for("dir://" + str(tmp_path / "plain"))
+        assert isinstance(backend, LocalDirStore)
+        backend.close()
+        backend = store_for("sqlite://" + str(tmp_path / "odd-extension"))
         assert isinstance(backend, SQLiteStore)
         backend.close()
+        backend = store_for("memory://scheme-test")
+        try:
+            assert isinstance(backend, MemoryStore)
+            # the name is an address: same name, same store
+            backend.put("ns", "k", {"v": 1})
+            assert store_for("memory://scheme-test").get("ns", "k") == {"v": 1}
+        finally:
+            MemoryStore.reset_registry()
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            store_for("redis://somewhere")
+
+    def test_bare_paths_still_work_but_warn(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="dir://"):
+            assert isinstance(store_for(str(tmp_path / "plain")), LocalDirStore)
+        for name in ("s.db", "s.sqlite", "s.sqlite3"):
+            with pytest.warns(DeprecationWarning):
+                backend = store_for(str(tmp_path / name))
+            assert isinstance(backend, SQLiteStore)
+            backend.close()
+        with pytest.warns(DeprecationWarning):
+            backend = store_for("sqlite:" + str(tmp_path / "odd-extension"))
+        assert isinstance(backend, SQLiteStore)
+        backend.close()
+
+
+class TestMultiCampaignLayout:
+    def test_scoped_store_prefixes_every_namespace(self, store):
+        view = scoped_store(store, "abc123")
+        view.put("leases", "u1", {"state": "pending"})
+        assert store.get("campaigns/abc123/leases", "u1") == {"state": "pending"}
+        assert view.get("leases", "u1") == {"state": "pending"}
+        assert view.keys("leases") == ["u1"] and view.count("leases") == 1
+        # campaigns cannot see each other's records
+        other = scoped_store(store, "def456")
+        assert other.get("leases", "u1") is None
+        # scoping with no campaign id is the identity
+        assert scoped_store(store, None) is store
+
+    def test_campaign_index_roundtrip(self, store):
+        record = {"campaign_id": "abc", "tenant": "alice", "status": "running"}
+        assert register_campaign(store, "abc", record) is True
+        assert register_campaign(store, "abc", {"status": "other"}) is False
+        update_campaign(store, "abc", status="complete")
+        index = load_campaign_index(store)
+        assert index["abc"]["status"] == "complete"
+        assert index["abc"]["tenant"] == "alice"
+        assert index["abc"]["updated_at"] > 0
 
 
 def _unit(unit_id="u1", n=2):
@@ -422,6 +474,42 @@ class TestFabricCampaign:
         backend.close()
         with pytest.raises(FabricMismatch):
             run_campaign(_fast_spec(fabric=FabricConfig(store=store_path)))
+
+    def test_live_same_spec_campaign_is_not_adopted(self, tmp_path):
+        # same fingerprint but its coordinator is verifiably alive (fresh
+        # manifest heartbeat): adopting would mean two coordinators
+        # double-journaling one campaign
+        from repro.fabric.coordinator import FabricMismatch
+        from repro.fabric.worker import KEY_MANIFEST, NS_CAMPAIGN
+
+        store_path = str(tmp_path / "store")
+        spec = _fast_spec(fabric=FabricConfig(store=store_path, lease_ttl=30.0))
+        backend = store_for("dir://" + store_path)
+        backend.put(NS_CAMPAIGN, KEY_MANIFEST, {
+            "spec": {}, "spec_fingerprint": spec.fingerprint(),
+            "status": "running", "lease_ttl": 30.0,
+            "coordinator_heartbeat_at": time.time(),
+        })
+        backend.close()
+        with pytest.raises(FabricMismatch, match="heartbeat"):
+            run_campaign(spec)
+
+    def test_stale_same_spec_campaign_is_adopted(self, tmp_path):
+        # ...but once the heartbeat is stale the previous coordinator is
+        # gone, and adopting (resuming on the existing ledger) is safe
+        from repro.fabric.worker import KEY_MANIFEST, NS_CAMPAIGN
+
+        store_path = str(tmp_path / "store")
+        spec = _fast_spec(fabric=FabricConfig(store=store_path, lease_ttl=1.0))
+        backend = store_for("dir://" + store_path)
+        backend.put(NS_CAMPAIGN, KEY_MANIFEST, {
+            "spec": {}, "spec_fingerprint": spec.fingerprint(),
+            "status": "running", "lease_ttl": 1.0,
+            "coordinator_heartbeat_at": time.time() - 60.0,
+        })
+        backend.close()
+        result = run_campaign(spec)
+        assert result.strategies_tried > 0
 
     def test_strategy_codec_roundtrips(self):
         strategy = _strategy(42, percent=75)

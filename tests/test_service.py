@@ -1,0 +1,394 @@
+"""The multi-tenant campaign service: admission control (quota /
+saturation / quarantine), the resumable CampaignHandle lifecycle, fair
+multi-campaign workers, and the hand-rolled asyncio HTTP control plane.
+
+The expensive end-to-end checks pin the service's contract: two
+concurrent campaigns from distinct tenants on one shared store, served
+by shared workers, each accounted exactly once.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import CampaignSpec
+from repro.core.executor import TestbedConfig
+from repro.fabric import MemoryStore
+from repro.fabric.config import FabricConfig
+from repro.fabric.store import campaign_namespace
+from repro.fabric.worker import FabricWorker
+from repro.service import (
+    CampaignService,
+    QuarantinedError,
+    QuotaExceeded,
+    ServiceClient,
+    ServiceSaturated,
+    ServiceServer,
+    TenantQuota,
+    UnknownCampaign,
+    parse_quota_flag,
+)
+from repro.service.app import ConflictError, InvalidSpec
+from repro.service.client import ServiceHTTPError
+
+FAST = dict(duration=0.5, file_size=200_000)
+
+
+def _spec_doc(tenant="default", participate=True, checkpoint=None,
+              file_size=200_000, sample_every=500):
+    """A fast, valid campaign-spec document for submission."""
+    spec = CampaignSpec(
+        testbed=TestbedConfig(protocol="tcp", variant="linux-3.13",
+                              duration=0.5, file_size=file_size),
+        workers=1,
+        sample_every=sample_every,
+        tenant=tenant,
+        checkpoint=checkpoint,
+        fabric=FabricConfig(
+            store="memory://overridden-by-service",
+            lease_ttl=5.0, lease_size=2, poll_interval=0.05,
+            participate=participate, telemetry_interval=0.2,
+        ),
+    )
+    return spec.to_dict()
+
+
+def _wait_done(service, campaign_id, timeout=120.0):
+    """Poll the service until the campaign reaches a terminal status."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = service.status(campaign_id)["status"]
+        if status not in ("pending", "running"):
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"campaign {campaign_id} still running after {timeout}s")
+
+
+@pytest.fixture
+def service():
+    MemoryStore.reset_registry()
+    svc = CampaignService(
+        "memory://service-test",
+        quotas={"small": TenantQuota(max_concurrent_campaigns=1,
+                                     max_leased_units=4)},
+    )
+    yield svc
+    svc.close()
+    MemoryStore.reset_registry()
+
+
+class TestTenantQuota:
+    def test_parse_quota_flag(self):
+        quotas = parse_quota_flag("alice=3:16,bob=1:4")
+        assert quotas["alice"] == TenantQuota(3, 16)
+        assert quotas["bob"] == TenantQuota(1, 4)
+
+    def test_parse_rejects_nonsense(self):
+        for flag in ("alice", "alice=3", "alice=0:4", "alice=3:0", "=3:4"):
+            with pytest.raises(ValueError):
+                parse_quota_flag(flag)
+
+    def test_quota_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_concurrent_campaigns=0)
+        with pytest.raises(ValueError):
+            TenantQuota(max_leased_units=0)
+
+
+class TestAdmission:
+    def test_malformed_spec_rejected(self, service):
+        with pytest.raises(InvalidSpec):
+            service.submit({"version": 99, "nonsense": True})
+        with pytest.raises(InvalidSpec):
+            service.submit({"testbed": ["not", "a", "mapping"]})
+        with pytest.raises(InvalidSpec):
+            service.submit({"fabric": {"store": "s", "lease_ttl": -1}})
+
+    def test_unknown_campaign_everywhere(self, service):
+        with pytest.raises(UnknownCampaign):
+            service.status("nope")
+        with pytest.raises(UnknownCampaign):
+            service.cancel("nope")
+        with pytest.raises(UnknownCampaign):
+            service.report("nope")
+
+    def test_over_quota_tenant_is_rejected(self, service):
+        # tenant "small" may run one campaign; participate=False with no
+        # workers means the first never finishes on its own
+        first = service.submit(_spec_doc(tenant="small", participate=False))
+        try:
+            with pytest.raises(QuotaExceeded):
+                service.submit(_spec_doc(tenant="small", participate=False,
+                                         sample_every=400))
+            # an unrelated tenant is not affected by small's quota
+            other = service.submit(_spec_doc(tenant="big", participate=False))
+            service.cancel(other["campaign_id"])
+        finally:
+            service.cancel(first["campaign_id"])
+        assert _wait_done(service, first["campaign_id"]) == "cancelled"
+
+    def test_saturated_service_rejects_any_tenant(self):
+        MemoryStore.reset_registry()
+        svc = CampaignService("memory://saturated", max_total_campaigns=1)
+        try:
+            first = svc.submit(_spec_doc(tenant="a", participate=False))
+            with pytest.raises(ServiceSaturated):
+                svc.submit(_spec_doc(tenant="b", participate=False))
+            svc.cancel(first["campaign_id"])
+            _wait_done(svc, first["campaign_id"])
+        finally:
+            svc.close()
+            MemoryStore.reset_registry()
+
+    def test_quarantine_after_consecutive_failures(self, monkeypatch):
+        def boom(self):
+            raise RuntimeError("poison testbed")
+
+        monkeypatch.setattr(CampaignSpec, "build_controller", boom)
+        MemoryStore.reset_registry()
+        svc = CampaignService("memory://quarantine", quarantine_after=2)
+        try:
+            doc = _spec_doc()
+            for _ in range(2):
+                out = svc.submit(doc)
+                assert _wait_done(svc, out["campaign_id"]) == "failed"
+            with pytest.raises(QuarantinedError, match="quarantined"):
+                svc.submit(doc)
+            # a different spec fingerprint is not tarred by the same brush
+            other = svc.submit(_spec_doc(sample_every=123))
+            assert _wait_done(svc, other["campaign_id"]) == "failed"
+        finally:
+            svc.close()
+            MemoryStore.reset_registry()
+
+    def test_cancellations_are_not_poison(self, service):
+        doc = _spec_doc(tenant="small", participate=False)
+        for _ in range(4):  # > quarantine_after: cancels must not accumulate
+            out = service.submit(doc)
+            service.cancel(out["campaign_id"])
+            assert _wait_done(service, out["campaign_id"]) == "cancelled"
+
+
+class TestCampaignLifecycle:
+    def test_submit_runs_to_completion_with_report(self, service):
+        out = service.submit(_spec_doc(tenant="alice"))
+        campaign_id = out["campaign_id"]
+        with pytest.raises(ConflictError):
+            service.report(campaign_id)  # not finished yet
+        assert _wait_done(service, campaign_id) == "complete"
+        report = service.report(campaign_id)
+        assert report["status"] == "complete"
+        assert report["tenant"] == "alice"
+        assert report["table1_row"]["strategies_tried"] > 0
+        assert report["fabric"]["commits"] > 0
+        status = service.status(campaign_id)
+        assert status["results_committed"] > 0
+        assert campaign_id in [r["campaign_id"] for r in service.list_campaigns()]
+
+    def test_warm_resubmit_reuses_the_shared_cache(self, service):
+        first = service.submit(_spec_doc(tenant="alice"))
+        assert _wait_done(service, first["campaign_id"]) == "complete"
+        # same computation, different tenant: the run cache is shared at
+        # the store root, so nothing is re-enqueued or re-executed
+        again = service.submit(_spec_doc(tenant="bob"))
+        assert _wait_done(service, again["campaign_id"]) == "complete"
+        report = service.report(again["campaign_id"])
+        assert report["fabric"]["leases_enqueued"] == 0
+        assert report["fabric"]["worker_units"] == 0
+        # runs_completed is per-campaign exact (counted from the run
+        # outcomes, not the process-cumulative metrics registry): the
+        # first campaign's executions must not leak into this one
+        assert report["runs_completed"] == 0
+        assert report["cache_hits"] > 0
+        assert report["table1_row"] == service.report(
+            first["campaign_id"])["table1_row"]
+
+    def test_cancel_mid_sweep(self, service):
+        out = service.submit(_spec_doc(tenant="small", participate=False))
+        campaign_id = out["campaign_id"]
+        cancelled = service.cancel(campaign_id)
+        assert cancelled["cancelled"] is True
+        assert _wait_done(service, campaign_id) == "cancelled"
+        # a finished campaign cannot be re-cancelled
+        assert service.cancel(campaign_id)["cancelled"] is False
+        report = service.report(campaign_id)
+        assert report["status"] == "cancelled" and "error" in report
+
+    def test_overview_rolls_up(self, service):
+        out = service.submit(_spec_doc(tenant="alice"))
+        overview = service.overview()
+        assert overview["running"] >= 1
+        assert "alice" in overview["tenants"]
+        _wait_done(service, out["campaign_id"])
+
+
+class TestSharedWorkers:
+    def test_one_worker_serves_two_tenants_campaigns(self, service, tmp_path):
+        journals = {
+            "alice": str(tmp_path / "alice.jsonl"),
+            "bob": str(tmp_path / "bob.jsonl"),
+        }
+        # different file_size => disjoint run fingerprints, so neither
+        # campaign can be served from the other's cache entries
+        submitted = {
+            "alice": service.submit(_spec_doc(
+                tenant="alice", participate=False, file_size=200_000,
+                checkpoint=journals["alice"])),
+            "bob": service.submit(_spec_doc(
+                tenant="bob", participate=False, file_size=150_000,
+                checkpoint=journals["bob"])),
+        }
+        worker = FabricWorker(service.store, workers=1, poll_interval=0.05)
+        thread = threading.Thread(
+            target=lambda: worker.run(idle_exit=5.0, manifest_timeout=60.0),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            for tenant, out in submitted.items():
+                assert _wait_done(service, out["campaign_id"]) == "complete", tenant
+        finally:
+            thread.join(timeout=30)
+        # fairness: the single worker executed units for both campaigns
+        assert worker.served_campaigns >= {
+            out["campaign_id"] for out in submitted.values()
+        }
+        for tenant, out in submitted.items():
+            campaign_id = out["campaign_id"]
+            report = service.report(campaign_id)
+            assert report["status"] == "complete"
+            # exactly-once, per campaign: every journal entry unique, and
+            # the scoped ledger holds one record per journalled outcome
+            lines = [json.loads(line) for line in open(journals[tenant])][1:]
+            entries = [(rec["stage"], rec["outcome"]["strategy_id"])
+                       for rec in lines]
+            assert len(entries) == len(set(entries))
+            assert len(entries) >= report["table1_row"]["strategies_tried"] > 0
+            ledger_count = service.store.count(
+                campaign_namespace(campaign_id, "results"))
+            assert ledger_count == len(entries)
+
+
+@pytest.fixture
+def http_endpoint():
+    MemoryStore.reset_registry()
+    service = CampaignService("memory://http-test")
+    server = ServiceServer(service, host="127.0.0.1", port=0)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=10)
+    client = ServiceClient(server.host, server.port, timeout=30.0)
+    yield service, client
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=10)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+    loop.close()
+    service.close()
+    MemoryStore.reset_registry()
+
+
+class TestHTTPControlPlane:
+    def test_healthz_and_overview(self, http_endpoint):
+        _, client = http_endpoint
+        assert client.healthz() == {"ok": True}
+        overview = client.request("GET", "/")
+        assert overview["running"] == 0
+
+    def test_unknown_route_is_404(self, http_endpoint):
+        _, client = http_endpoint
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.request("GET", "/not-a-route")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, http_endpoint):
+        _, client = http_endpoint
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.request("DELETE", "/campaigns")
+        assert excinfo.value.status == 405
+
+    def test_submit_without_body_is_400(self, http_endpoint):
+        _, client = http_endpoint
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.request("POST", "/campaigns")
+        assert excinfo.value.status == 400
+
+    def test_bad_spec_is_422_with_kind(self, http_endpoint):
+        _, client = http_endpoint
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.submit({"version": 99})
+        assert excinfo.value.status == 422
+        assert excinfo.value.payload["kind"] == "InvalidSpec"
+
+    def test_unknown_campaign_is_404_everywhere(self, http_endpoint):
+        _, client = http_endpoint
+        for call in (lambda: client.status("nope"),
+                     lambda: client.cancel("nope"),
+                     lambda: client.report("nope")):
+            with pytest.raises(ServiceHTTPError) as excinfo:
+                call()
+            assert excinfo.value.status == 404
+
+    def test_report_before_done_is_409(self, http_endpoint):
+        _, client = http_endpoint
+        out = client.submit(_spec_doc(participate=False))
+        try:
+            with pytest.raises(ServiceHTTPError) as excinfo:
+                client.report(out["campaign_id"])
+            assert excinfo.value.status == 409
+        finally:
+            client.cancel(out["campaign_id"])
+            client.wait(out["campaign_id"], timeout=60)
+
+    def test_full_round_trip_over_http(self, http_endpoint):
+        _, client = http_endpoint
+        out = client.submit(_spec_doc(tenant="alice"))
+        assert out["tenant"] == "alice" and out["campaign_id"]
+        final = client.wait(out["campaign_id"], timeout=120)
+        assert final["status"] == "complete"
+        report = client.report(out["campaign_id"])
+        assert report["table1_row"]["strategies_tried"] > 0
+        listed = client.list_campaigns()["campaigns"]
+        assert out["campaign_id"] in [r["campaign_id"] for r in listed]
+
+
+class TestServiceCli:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--store", "memory://x", "--port", "0",
+            "--quota", "alice=3:16", "--max-campaigns", "4",
+            "--quarantine-after", "2",
+        ])
+        assert args.store == "memory://x" and args.port == 0
+        assert args.quota == "alice=3:16"
+        assert args.max_campaigns == 4 and args.quarantine_after == 2
+
+    def test_serve_requires_store(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve"])
+        assert excinfo.value.code == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_quota(self, capsys):
+        from repro.cli import main
+
+        rc = main(["serve", "--store", "memory://x", "--quota", "garbage"])
+        assert rc == 2
+        assert "quota" in capsys.readouterr().err.lower()
+
+    def test_submit_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "submit", "--protocol", "tcp", "--tenant", "alice",
+            "--port", "1234", "--wait", "--timeout", "30",
+        ])
+        assert args.protocol == "tcp" and args.tenant == "alice"
+        assert args.port == 1234 and args.wait and args.timeout == 30.0
