@@ -248,6 +248,7 @@ def _validate_campaign_flags(args: argparse.Namespace) -> Optional[str]:
         for attr, flag in (
             ("store", "--store"), ("lease_ttl", "--lease-ttl"), ("lease_size", "--lease-size"),
             ("telemetry_interval", "--telemetry-interval"), ("stall_window", "--stall-window"),
+            ("store_retries", "--store-retries"), ("store_backoff", "--store-backoff"),
         ):
             if getattr(args, attr) is not None:
                 return f"{flag} has no effect without --fabric"
@@ -323,6 +324,12 @@ def _spec_from_args(args: argparse.Namespace) -> CampaignSpec:
                     args.telemetry_interval if args.telemetry_interval is not None else 1.0
                 ),
                 stall_window=args.stall_window if args.stall_window is not None else 15.0,
+                store_retries=(
+                    args.store_retries if args.store_retries is not None else 0
+                ),
+                store_backoff=(
+                    args.store_backoff if args.store_backoff is not None else 0.05
+                ),
             )
         )
     return spec
@@ -400,7 +407,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_quota=default_quota,
         max_total_campaigns=args.max_campaigns,
         quarantine_after=args.quarantine_after,
+        store_retries=args.store_retries,
+        store_backoff=args.store_backoff,
     )
+    # service HA: campaigns a previous (killed) serve process left running
+    # on the store get their drive loops back before we accept traffic
+    for record in service.reattach_detached():
+        sys.stderr.write(
+            f"re-attached campaign {record['campaign_id']} "
+            f"(tenant {record['tenant']})\n"
+        )
     serve(service, host=args.host, port=args.port)
     return 0
 
@@ -470,7 +486,9 @@ def cmd_worker(args: argparse.Namespace) -> int:
     obs = None
     if args.trace_dir or args.metrics_out:
         obs = ObsConfig(trace_dir=args.trace_dir, metrics=args.metrics_out is not None)
-    store = store_for(args.store)
+    store = store_for(
+        args.store, retries=args.store_retries, backoff=args.store_backoff
+    )
     worker = FabricWorker(
         store, workers=args.workers, obs=obs, poll_interval=args.poll
     )
@@ -505,25 +523,43 @@ def cmd_top(args: argparse.Namespace) -> int:
     store.  The refresh loop exits on its own once the campaign manifest
     goes complete/failed; ``--once`` renders one frame for scripts and CI.
     """
-    from repro.fabric.store import scoped_store, store_for
+    from repro.fabric.store import StoreCorrupt, scoped_store, store_for
     from repro.obs.fleet import FleetAggregator, fleet_overview
 
-    store = store_for(args.store)
+    store = store_for(
+        args.store, retries=args.store_retries, backoff=args.store_backoff
+    )
     view = scoped_store(store, args.campaign)
     try:
         # one long-lived aggregator, so no-progress straggler detection
         # works across refreshes (heartbeat stalls need only one frame)
         aggregator = FleetAggregator(view, stall_window=args.stall_window)
         while True:
-            overview = fleet_overview(
-                view, stall_window=args.stall_window, aggregator=aggregator
-            )
+            try:
+                overview = fleet_overview(
+                    view, stall_window=args.stall_window, aggregator=aggregator
+                )
+            except (OSError, StoreCorrupt) as exc:
+                # the store blinked (outage, torn record mid-rewrite):
+                # keep the view alive instead of tracebacking — the next
+                # frame usually reads clean
+                sys.stderr.write(f"warning: store unreadable this frame: {exc}\n")
+                if args.once:
+                    return 1
+                try:
+                    time.sleep(args.interval)
+                except KeyboardInterrupt:
+                    return 0
+                continue
             if args.json:
                 print(json.dumps(overview, sort_keys=True))
             else:
                 if not args.once and sys.stdout.isatty():
                     sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
                 print(render_fleet(overview))
+                torn = overview.get("torn_records", 0)
+                if torn:
+                    print(f"warning: skipped {torn} torn telemetry record(s)")
             sys.stdout.flush()
             if args.once:
                 return 0
@@ -789,6 +825,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--stall-window", type=_positive_float, default=None,
                      help="no heartbeat or no unit progress for this many seconds "
                           "flags a worker as a straggler (default 15; with --fabric)")
+    sub.add_argument("--store-retries", type=_nonnegative_int, default=None,
+                     help="retry transient store faults this many extra times per "
+                          "operation, with exponential backoff and a circuit "
+                          "breaker (default 0 = no retries; with --fabric)")
+    sub.add_argument("--store-backoff", type=_nonnegative_float, default=None,
+                     help="base seconds for store-retry exponential backoff "
+                          "(default 0.05; with --fabric)")
     sub.set_defaults(handler=cmd_campaign, parser=sub)
 
     sub = subparsers.add_parser(
@@ -823,6 +866,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--quarantine-after", type=_positive_int, default=3,
                      help="consecutive failures before a spec fingerprint is "
                           "quarantined (default 3)")
+    sub.add_argument("--store-retries", type=_nonnegative_int, default=0,
+                     help="retry transient store faults this many extra times per "
+                          "operation, with exponential backoff and a circuit "
+                          "breaker (default 0 = no retries)")
+    sub.add_argument("--store-backoff", type=_nonnegative_float, default=0.05,
+                     help="base seconds for store-retry exponential backoff "
+                          "(default 0.05)")
     sub.set_defaults(handler=cmd_serve)
 
     sub = subparsers.add_parser(
@@ -884,6 +934,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record this worker's JSONL event traces here")
     sub.add_argument("--metrics-out", metavar="JSON", default=None,
                      help="write this worker's metrics snapshot here on exit")
+    sub.add_argument("--store-retries", type=_nonnegative_int, default=0,
+                     help="retry transient store faults this many extra times per "
+                          "operation, with exponential backoff and a circuit "
+                          "breaker (default 0 = no retries)")
+    sub.add_argument("--store-backoff", type=_nonnegative_float, default=0.05,
+                     help="base seconds for store-retry exponential backoff "
+                          "(default 0.05)")
     sub.set_defaults(handler=cmd_worker)
 
     sub = subparsers.add_parser(
@@ -910,6 +967,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--stall-window", type=_positive_float, default=15.0,
                      help="heartbeat/progress staleness that marks a worker "
                           "as a straggler (default 15)")
+    sub.add_argument("--store-retries", type=_nonnegative_int, default=0,
+                     help="retry transient store faults this many extra times per "
+                          "read, with exponential backoff (default 0 = no retries)")
+    sub.add_argument("--store-backoff", type=_nonnegative_float, default=0.05,
+                     help="base seconds for store-retry exponential backoff "
+                          "(default 0.05)")
     sub.set_defaults(handler=cmd_top)
 
     sub = subparsers.add_parser(

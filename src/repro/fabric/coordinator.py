@@ -88,7 +88,7 @@ from repro.obs.fleet import (
     FleetPublisher,
     fleet_overview,
 )
-from repro.obs.metrics import METRICS, merge_snapshots
+from repro.obs.metrics import METRICS, MetricsRegistry, merge_snapshots
 
 log = logging.getLogger("repro.fabric.coordinator")
 
@@ -131,6 +131,7 @@ class _FabricStageRunner:
         self.ledger = ResultLedger(store)
         self.cache = RunCache(cache_store if cache_store is not None else store)
         self._last_manifest_beat = 0.0
+        self._outage_streak = 0
         self.agent = FabricWorker(
             store,
             workers=spec.workers,
@@ -198,6 +199,24 @@ class _FabricStageRunner:
         if self.cancel_event is not None and self.cancel_event.is_set():
             raise CampaignCancelled(self.spec_fingerprint)
 
+    def _pause_for_outage(self, op: str, error: BaseException) -> None:
+        """Degraded mode: the store is down (retries exhausted / breaker
+        open) — pause the campaign with capped exponential backoff
+        instead of failing it, and resume when the store heals."""
+        self._outage_streak += 1
+        METRICS.inc("fabric.store_outages")
+        BUS.emit(
+            "fabric.store.outage", op=op, streak=self._outage_streak,
+            error=f"{type(error).__name__}: {error}",
+        )
+        log.warning("fabric: store outage during %s (%s); campaign paused "
+                    "(streak %d)", op, error, self._outage_streak)
+        delay = min(
+            self.fabric.poll_interval * (2 ** min(self._outage_streak, 6)),
+            max(self.fabric.lease_ttl / 2.0, self.fabric.poll_interval),
+        )
+        time.sleep(delay)
+
     # ------------------------------------------------------------------
     def __call__(
         self,
@@ -231,11 +250,17 @@ class _FabricStageRunner:
         remaining: List[int] = []
         for index in range(total):
             if cache is not None:
-                hit = cache.get(fingerprints[index])
+                try:
+                    hit = cache.get(fingerprints[index])
+                except (OSError, StoreCorrupt):
+                    hit = None  # unreadable cache entry: recompute
                 if hit is not None:
                     finish(index, restamped(index, hit))
                     continue
-            committed = self.ledger.fetch(stage, fingerprints[index])
+            try:
+                committed = self.ledger.fetch(stage, fingerprints[index])
+            except OSError:
+                committed = None  # store blip: fall through to enqueue
             if committed is not None:
                 finish(index, restamped(index, committed))
                 continue
@@ -251,15 +276,22 @@ class _FabricStageRunner:
             member_fps = [fingerprints[i] for i in members]
             unit_id = unit_fingerprint(self.spec_fingerprint, stage, member_fps)
             unit_members[unit_id] = members
-            self.queue.enqueue({
-                "unit_id": unit_id,
-                "stage": stage,
-                "seed": seed,
-                "slots": [
-                    {"fingerprint": fingerprints[i], "strategy": encode_strategy(strategies[i])}
-                    for i in members
-                ],
-            })
+            while True:
+                self._check_cancel()
+                try:
+                    self.queue.enqueue({
+                        "unit_id": unit_id,
+                        "stage": stage,
+                        "seed": seed,
+                        "slots": [
+                            {"fingerprint": fingerprints[i],
+                             "strategy": encode_strategy(strategies[i])}
+                            for i in members
+                        ],
+                    })
+                    break  # enqueue is idempotent per unit id; safe to repeat
+                except OSError as error:
+                    self._pause_for_outage("enqueue", error)
         METRICS.inc("fabric.units.enqueued", len(unit_members))
         BUS.emit("fabric.stage.sharded", stage=stage,
                  units=len(unit_members), pending=len(remaining))
@@ -271,38 +303,47 @@ class _FabricStageRunner:
         while waiting:
             self._check_cancel()
             self._telemetry_tick()
-            progressed = False
-            for index in sorted(waiting):
-                outcome = self.ledger.fetch(stage, fingerprints[index])
-                if outcome is not None:
-                    waiting.discard(index)
-                    finish(index, restamped(index, outcome))
-                    progressed = True
-            if not waiting:
-                break
-            if self.fabric.participate:
-                if self.agent.run_one(self.spec, self.queue, self.cache, pool):
-                    continue  # executed a unit; collect its commits next pass
-            if progressed:
-                continue
-            # Nothing claimable and nothing new in the ledger.  If every
-            # unit owning a missing fingerprint is already done, its result
-            # record was lost (torn write): reopen the unit for re-dispatch.
-            states = self.queue.states()
-            reopened = False
-            for unit_id, members in unit_members.items():
-                missing = [i for i in members if i in waiting]
-                if not missing or states.get(unit_id) != "done":
+            # Degraded mode: any store fault that survived the retry layer
+            # (or a tripped breaker, StoreOutage ⊂ OSError) pauses the
+            # campaign and resumes it when the store heals — never fails it.
+            # Work already committed stays committed; an abandoned unit's
+            # lease expires and is reclaimed, so accounting is unchanged.
+            try:
+                progressed = False
+                for index in sorted(waiting):
+                    outcome = self.ledger.fetch(stage, fingerprints[index])
+                    if outcome is not None:
+                        waiting.discard(index)
+                        finish(index, restamped(index, outcome))
+                        progressed = True
+                self._outage_streak = 0  # the store answered a full pass
+                if not waiting:
+                    break
+                if self.fabric.participate:
+                    if self.agent.run_one(self.spec, self.queue, self.cache, pool):
+                        continue  # executed a unit; collect its commits next pass
+                if progressed:
                     continue
-                if any(
-                    self.ledger.fetch(stage, fingerprints[i]) is None for i in missing
-                ):
-                    log.warning("fabric: unit %s done but %d result(s) missing; reopening",
-                                unit_id[:12], len(missing))
-                    self.queue.reopen(unit_id)
-                    reopened = True
-            if not reopened:
-                time.sleep(self.fabric.poll_interval)
+                # Nothing claimable and nothing new in the ledger.  If every
+                # unit owning a missing fingerprint is already done, its result
+                # record was lost (torn write): reopen the unit for re-dispatch.
+                states = self.queue.states()
+                reopened = False
+                for unit_id, members in unit_members.items():
+                    missing = [i for i in members if i in waiting]
+                    if not missing or states.get(unit_id) != "done":
+                        continue
+                    if any(
+                        self.ledger.fetch(stage, fingerprints[i]) is None for i in missing
+                    ):
+                        log.warning("fabric: unit %s done but %d result(s) missing; reopening",
+                                    unit_id[:12], len(missing))
+                        self.queue.reopen(unit_id)
+                        reopened = True
+                if not reopened:
+                    time.sleep(self.fabric.poll_interval)
+            except OSError as error:
+                self._pause_for_outage("drive", error)
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -360,8 +401,17 @@ class CampaignHandle:
         self.tenant = spec.tenant
         self.spec_fingerprint = spec.fingerprint()
         self._owns_store = store is None
-        self.store = store if store is not None else store_for(self.fabric.store)
+        self.store = store if store is not None else store_for(
+            self.fabric.store,
+            retries=self.fabric.store_retries,
+            backoff=self.fabric.store_backoff,
+        )
         self.view = scoped_store(self.store, campaign_id)
+        #: the campaign-private metrics registry the drive thread records
+        #: into (scoped via :meth:`ScopedMetrics.scoped`, folded into the
+        #: process registry on completion) — concurrent campaigns in one
+        #: service process no longer cross-pollute their snapshots
+        self.registry = MetricsRegistry()
         self._cancel = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
@@ -462,11 +512,19 @@ class CampaignHandle:
                     stall_window=self.fabric.stall_window,
                     spec_fingerprint=self.spec_fingerprint,
                 )
-            overview = fleet_overview(
-                self.view,
-                stall_window=self.fabric.stall_window,
-                aggregator=self._poll_aggregator,
-            )
+            try:
+                overview = fleet_overview(
+                    self.view,
+                    stall_window=self.fabric.stall_window,
+                    aggregator=self._poll_aggregator,
+                )
+            except OSError:  # store outage: status stays answerable
+                overview = {"workers": [], "stragglers": [],
+                            "events_per_sec": 0.0, "leases": {}, "eta_seconds": None}
+            try:
+                committed = ResultLedger(self.view).committed_count()
+            except OSError:
+                committed = None
         snapshot: Dict[str, Any] = {
             "campaign_id": self.campaign_id,
             "tenant": self.tenant,
@@ -477,7 +535,7 @@ class CampaignHandle:
             "events_per_sec": overview["events_per_sec"],
             "leases": overview["leases"],
             "eta_seconds": overview["eta_seconds"],
-            "results_committed": ResultLedger(self.view).committed_count(),
+            "results_committed": committed,
         }
         if error is not None:
             snapshot["error"] = f"{type(error).__name__}: {error}"
@@ -493,9 +551,17 @@ class CampaignHandle:
             except Exception:  # noqa: BLE001 - index mirror is best-effort
                 log.exception("fabric: campaign index update failed")
 
-    def _guard_legacy_manifest(self) -> Optional[Dict[str, Any]]:
-        """Legacy one-campaign-per-store admission; returns the adopted
-        manifest (or ``None`` for a fresh store)."""
+    def _guard_manifest(self) -> Optional[Dict[str, Any]]:
+        """Manifest admission for both layouts; returns the adopted
+        manifest (or ``None`` for a fresh scope).
+
+        Legacy root layout: one campaign per store — a different running
+        fingerprint, or the same one under a live coordinator, is a
+        :class:`FabricMismatch`.  Multi-campaign scope: a fresh campaign
+        id has no manifest (normal submit); a *running* manifest under
+        this id is the service-HA re-attach path — adoptable only once
+        its previous coordinator's heartbeat went verifiably stale.
+        """
         try:
             existing = self.view.get(NS_CAMPAIGN, KEY_MANIFEST)
         except StoreCorrupt:
@@ -503,6 +569,13 @@ class CampaignHandle:
         if existing is None or existing.get("status") != MANIFEST_RUNNING:
             return None
         if existing.get("spec_fingerprint") != self.spec_fingerprint:
+            if self.campaign_id is not None:
+                raise FabricMismatch(
+                    f"campaign {self.campaign_id!r} already carries a running "
+                    f"manifest for a different spec "
+                    f"({existing.get('spec_fingerprint')!r}); refusing to "
+                    "overwrite it"
+                )
             raise FabricMismatch(
                 f"store {self.fabric.store!r} already hosts a running campaign "
                 f"(spec {existing.get('spec_fingerprint')!r}); the legacy "
@@ -514,6 +587,11 @@ class CampaignHandle:
         if beat is not None and (
             time.time() - float(beat) < ADOPT_STALE_TTLS * self.fabric.lease_ttl
         ):
+            if self.campaign_id is not None:
+                raise FabricMismatch(
+                    f"campaign {self.campaign_id!r} is still being driven by a "
+                    "heartbeating coordinator; refusing to double-drive it"
+                )
             raise FabricMismatch(
                 f"store {self.fabric.store!r} already hosts this exact "
                 "campaign under a coordinator that is still heartbeating; "
@@ -521,11 +599,26 @@ class CampaignHandle:
                 "use the multi-campaign service for concurrent runs "
                 "(`repro serve` + `repro submit`, see docs/service.md)"
             )
-        log.info("fabric: adopting stale manifest for spec %s "
-                 "(previous coordinator gone)", self.spec_fingerprint[:12])
+        log.info("fabric: adopting stale manifest for %s "
+                 "(previous coordinator gone)",
+                 self.campaign_id or f"spec {self.spec_fingerprint[:12]}")
         return existing
 
     def _drive(
+        self, progress: Optional[Callable[[str, int, int], None]] = None
+    ) -> None:
+        # Every metric this campaign records — on the drive thread and in
+        # the fork pools it spawns, which inherit the forking thread's
+        # routing — lands in the campaign-private registry, then folds
+        # into the process registry exactly once on completion.  N
+        # concurrent campaigns in one service process stay isolated.
+        try:
+            with METRICS.scoped(self.registry):
+                self._drive_scoped(progress)
+        finally:
+            METRICS.merge(self.registry.snapshot())
+
+    def _drive_scoped(
         self, progress: Optional[Callable[[str, int, int], None]] = None
     ) -> None:
         spec = self.spec
@@ -536,12 +629,14 @@ class CampaignHandle:
             obs = spec.obs or ObsConfig()
             if not obs.metrics:
                 spec = spec.with_overrides(obs=dataclasses.replace(obs, metrics=True))
+        # configure_observability is value-idempotent, so it may skip the
+        # METRICS.enabled assignment entirely — enable the scoped registry
+        # here, explicitly
+        self.registry.enabled = bool(spec.obs and spec.obs.metrics)
         spec_fp = self.spec_fingerprint
         manifest: Dict[str, Any] = {}
         try:
-            adopted = (
-                self._guard_legacy_manifest() if self.campaign_id is None else None
-            )
+            adopted = self._guard_manifest()
             if adopted is None:
                 # a fresh campaign starts with a clean fleet view — stale
                 # status records from a previous run would read as

@@ -1,0 +1,444 @@
+"""Store fault tolerance: classified retries, a circuit breaker, chaos.
+
+The fabric assumes the artifact store is perfectly reliable; real shared
+filesystems and database files are not.  This module closes the gap with
+two :class:`~repro.fabric.store.ArtifactStore` decorators:
+
+* :class:`ResilientStore` — wraps any backend with *classified* retries:
+  transient faults (``OSError``, SQLite ``database is locked``/busy, the
+  lockfile ``TimeoutError``) are retried with exponential backoff and
+  deterministic jitter; :class:`~repro.fabric.store.StoreCorrupt` and
+  other programming errors are never retried — a torn record does not
+  heal by rereading it.  A half-open circuit breaker trips after N
+  *consecutive* exhausted operations, fails fast with
+  :class:`StoreOutage` while open, and lets one probe operation through
+  after a cooldown; success closes it.  Every retry bumps the
+  ``store.retries`` counter and emits a ``store.retry`` trace event;
+  breaker transitions bump ``store.breaker_open`` and emit
+  ``store.breaker.open`` / ``store.breaker.close``.
+
+* :class:`ChaosStore` — deterministic fault injection for tests and CI:
+  a seeded per-operation transient-error rate, injected latency,
+  torn-write mode (a written key reads back :class:`StoreCorrupt` until
+  overwritten or deleted) and stale-read mode (a read returns the
+  previous document once), all restrictable to target namespaces.  The
+  ``REPRO_TEST_FAULT=fabric-store-chaos:<rate>[:<seed>]`` hook wraps
+  every ``store_for``-opened store in a ChaosStore with that error rate,
+  so leases, ledger, cache, telemetry, workers and the coordinator are
+  all exercised under store failure.
+
+Retry caveat, by design: a retried :meth:`~ArtifactStore.update` may run
+``fn`` again, and a retried ``put_if_absent`` whose first attempt failed
+*after* applying reports ``False`` on the retry.  Every fabric
+transition is built for exactly that (CAS-style lease transitions,
+idempotent ledger commits), which is why the wrapper can sit under all
+of them.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.fabric.store import ArtifactStore, StoreCorrupt
+from repro.obs.bus import BUS
+from repro.obs.metrics import METRICS
+
+#: default backoff base (seconds) between retry attempts
+DEFAULT_BACKOFF = 0.05
+
+#: default consecutive exhausted operations before the breaker trips
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: default seconds the breaker stays open before a half-open probe
+DEFAULT_BREAKER_COOLDOWN = 1.0
+
+#: cap on any single backoff sleep (seconds)
+MAX_BACKOFF = 2.0
+
+
+class StoreOutage(OSError):
+    """The store kept failing past the retry budget (or the breaker is
+    open).  Subclasses ``OSError`` so degraded-mode ``except OSError``
+    handlers in the drive loops treat budget exhaustion and a raw
+    transient fault uniformly."""
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether a store fault is worth retrying.
+
+    ``OSError`` covers everything a flaky filesystem throws (EIO, ENOSPC
+    races, NFS hiccups) plus the lockfile ``TimeoutError``; SQLite's
+    ``OperationalError`` is the busy/locked class.  ``StoreCorrupt`` is a
+    :class:`ValueError` — a torn record is *data*, not weather, and
+    rereading it cannot help — and every other exception is a bug.
+    """
+    if isinstance(error, StoreCorrupt):
+        return False
+    if isinstance(error, StoreOutage):
+        return False
+    return isinstance(error, (OSError, sqlite3.OperationalError))
+
+
+class CircuitBreaker:
+    """Half-open circuit breaker over consecutive operation failures.
+
+    Closed (normal) → ``threshold`` consecutive *exhausted* operations →
+    open (every call fails fast) → after ``cooldown`` seconds one probe
+    call is let through (half-open) → probe success closes, probe failure
+    re-opens.  Thread-safe; shared by every operation of one store.
+    """
+
+    def __init__(
+        self,
+        threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+    ):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("breaker cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self.opened = 0  # lifetime open transitions
+        self._opened_at: Optional[float] = None
+        self._probing = False
+        self._lock = threading.Lock()
+
+    @property
+    def open(self) -> bool:
+        with self._lock:
+            return self._opened_at is not None
+
+    def admit(self) -> bool:
+        """Whether a new operation may proceed (claims the half-open
+        probe slot when the cooldown has elapsed)."""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if time.monotonic() - self._opened_at < self.cooldown:
+                return False
+            if self._probing:
+                return False
+            self._probing = True  # this caller is the half-open probe
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            was_open = self._opened_at is not None
+            self.failures = 0
+            self._opened_at = None
+            self._probing = False
+        if was_open:
+            BUS.emit("store.breaker.close")
+
+    def record_failure(self) -> None:
+        """One operation exhausted its retries; maybe trip the breaker."""
+        with self._lock:
+            self.failures += 1
+            self._probing = False
+            tripped = self._opened_at is None and self.failures >= self.threshold
+            if tripped or self._opened_at is not None:
+                self._opened_at = time.monotonic()
+                if tripped:
+                    self.opened += 1
+        if tripped:
+            METRICS.inc("store.breaker_open")
+            BUS.emit("store.breaker.open", failures=self.failures)
+
+
+class ResilientStore(ArtifactStore):
+    """Classified-retry + circuit-breaker decorator over any backend.
+
+    ``retries`` is extra attempts per operation after the first;
+    ``backoff`` the base sleep, doubled per attempt with deterministic
+    jitter from ``seed`` (same seed → same sleep schedule, so chaos runs
+    replay).  The breaker trips after ``breaker_threshold`` consecutive
+    operations that exhausted their budget and fails fast with
+    :class:`StoreOutage` until a half-open probe succeeds.
+    """
+
+    def __init__(
+        self,
+        inner: ArtifactStore,
+        retries: int = 3,
+        backoff: float = DEFAULT_BACKOFF,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        seed: int = 0,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        self.inner = inner
+        self.retries = retries
+        self.backoff = backoff
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown)
+        self.retried = 0  # lifetime retry attempts (mirrors store.retries)
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+
+    def __getattr__(self, name: str) -> Any:
+        # backend-specific attributes (root, path, path_for, ...) stay
+        # reachable through the wrapper
+        return getattr(self.inner, name)
+
+    # ------------------------------------------------------------------
+    def _sleep_for(self, attempt: int) -> float:
+        with self._rng_lock:
+            jitter = self._rng.uniform(0.5, 1.5)
+        return min(self.backoff * (2 ** attempt) * jitter, MAX_BACKOFF)
+
+    def _call(self, op: str, fn: Callable[[], Any]) -> Any:
+        if not self.breaker.admit():
+            raise StoreOutage(f"store circuit breaker open (op {op})")
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            try:
+                result = fn()
+            except BaseException as error:  # noqa: BLE001 - classified below
+                if not is_transient(error):
+                    # not retriable, but not an outage signal either:
+                    # corrupt data / bugs do not feed the breaker
+                    raise
+                last = error
+                if attempt < self.retries:
+                    self.retried += 1
+                    METRICS.inc("store.retries")
+                    BUS.emit(
+                        "store.retry", op=op, attempt=attempt + 1,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    delay = self._sleep_for(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                continue
+            self.breaker.record_success()
+            return result
+        self.breaker.record_failure()
+        raise StoreOutage(
+            f"store op {op} failed after {self.retries + 1} attempt(s): "
+            f"{type(last).__name__}: {last}"
+        ) from last
+
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        return self._call("get", lambda: self.inner.get(namespace, key))
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        return self._call("put", lambda: self.inner.put(namespace, key, payload))
+
+    def put_if_absent(self, namespace: str, key: str, payload: Dict[str, Any]) -> bool:
+        return self._call(
+            "put_if_absent", lambda: self.inner.put_if_absent(namespace, key, payload)
+        )
+
+    def update(
+        self,
+        namespace: str,
+        key: str,
+        fn: Callable[[Optional[Dict[str, Any]]], Optional[Dict[str, Any]]],
+    ) -> Optional[Dict[str, Any]]:
+        # a retried update may run fn again; fabric transitions are
+        # CAS-style and ledger commits idempotent, so this is safe here
+        return self._call("update", lambda: self.inner.update(namespace, key, fn))
+
+    def delete(self, namespace: str, key: str) -> bool:
+        return self._call("delete", lambda: self.inner.delete(namespace, key))
+
+    def keys(self, namespace: str) -> List[str]:
+        return self._call("keys", lambda: self.inner.keys(namespace))
+
+    def count(self, namespace: str) -> int:
+        return self._call("count", lambda: self.inner.count(namespace))
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class ChaosStore(ArtifactStore):
+    """Seeded fault injection in front of any backend (tests/CI only).
+
+    * ``error_rate`` — probability each operation raises a transient
+      ``OSError`` *before* touching the backend (fail-before, so a
+      retried operation never double-applies).
+    * ``latency`` — seconds slept before every operation.
+    * ``torn_rate`` — probability a ``put``/``put_if_absent`` is recorded
+      as *torn*: the write applies, but reads of that key raise
+      :class:`StoreCorrupt` until it is overwritten or deleted (the
+      wrapper-level equivalent of a half-persisted document).
+    * ``stale_rate`` — probability a ``get`` returns the key's *previous*
+      document instead of the current one (one version behind, like a
+      lagging replica).
+    * ``namespaces`` — restrict injection to these namespaces; a target
+      matches the full scoped name or its last ``/`` segment, so
+      ``"leases"`` also targets ``campaigns/<id>/leases``.
+
+    All randomness comes from one seeded RNG, so a chaos campaign replays
+    deterministically given the same seed and operation order.
+    """
+
+    def __init__(
+        self,
+        inner: ArtifactStore,
+        error_rate: float = 0.0,
+        latency: float = 0.0,
+        torn_rate: float = 0.0,
+        stale_rate: float = 0.0,
+        namespaces: Optional[Sequence[str]] = None,
+        seed: int = 0,
+    ):
+        for name, rate in (("error_rate", error_rate), ("torn_rate", torn_rate),
+                           ("stale_rate", stale_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.inner = inner
+        self.error_rate = error_rate
+        self.latency = latency
+        self.torn_rate = torn_rate
+        self.stale_rate = stale_rate
+        self.namespaces = None if namespaces is None else tuple(namespaces)
+        self.injected_errors = 0
+        self.injected_torn = 0
+        self.injected_stale = 0
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._torn: set = set()  # (namespace, key) currently torn
+        self._previous: Dict[tuple, Optional[Dict[str, Any]]] = {}
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+    # ------------------------------------------------------------------
+    def _targeted(self, namespace: str) -> bool:
+        if self.namespaces is None:
+            return True
+        tail = namespace.rsplit("/", 1)[-1]
+        return namespace in self.namespaces or tail in self.namespaces
+
+    def _chance(self, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            return self._rng.random() < rate
+
+    def _perturb(self, op: str, namespace: str) -> None:
+        if self.latency > 0:
+            time.sleep(self.latency)
+        if self._targeted(namespace) and self._chance(self.error_rate):
+            with self._lock:
+                self.injected_errors += 1
+            raise OSError(f"chaos: injected transient fault ({op} {namespace})")
+
+    def _remember(self, namespace: str, key: str) -> None:
+        """Snapshot the pre-write document for the stale-read mode."""
+        if self.stale_rate <= 0.0:
+            return
+        try:
+            current = self.inner.get(namespace, key)
+        except StoreCorrupt:
+            return
+        with self._lock:
+            self._previous[(namespace, key)] = current
+
+    def _mark_torn(self, namespace: str, key: str) -> None:
+        if self.torn_rate > 0 and self._targeted(namespace) and self._chance(self.torn_rate):
+            with self._lock:
+                self._torn.add((namespace, key))
+                self.injected_torn += 1
+
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: str) -> Optional[Dict[str, Any]]:
+        self._perturb("get", namespace)
+        with self._lock:
+            torn = (namespace, key) in self._torn
+        if torn:
+            raise StoreCorrupt(f"chaos: torn record {namespace}/{key}")
+        if (
+            self.stale_rate > 0
+            and self._targeted(namespace)
+            and self._chance(self.stale_rate)
+        ):
+            with self._lock:
+                if (namespace, key) in self._previous:
+                    self.injected_stale += 1
+                    return self._previous[(namespace, key)]
+        return self.inner.get(namespace, key)
+
+    def put(self, namespace: str, key: str, payload: Dict[str, Any]) -> None:
+        self._perturb("put", namespace)
+        self._remember(namespace, key)
+        self.inner.put(namespace, key, payload)
+        with self._lock:
+            self._torn.discard((namespace, key))  # a clean rewrite heals
+        self._mark_torn(namespace, key)
+
+    def put_if_absent(self, namespace: str, key: str, payload: Dict[str, Any]) -> bool:
+        self._perturb("put_if_absent", namespace)
+        created = self.inner.put_if_absent(namespace, key, payload)
+        if created:
+            self._mark_torn(namespace, key)
+        return created
+
+    def update(
+        self,
+        namespace: str,
+        key: str,
+        fn: Callable[[Optional[Dict[str, Any]]], Optional[Dict[str, Any]]],
+    ) -> Optional[Dict[str, Any]]:
+        self._perturb("update", namespace)
+        self._remember(namespace, key)
+        result = self.inner.update(namespace, key, fn)
+        with self._lock:
+            self._torn.discard((namespace, key))
+        return result
+
+    def delete(self, namespace: str, key: str) -> bool:
+        self._perturb("delete", namespace)
+        with self._lock:
+            self._torn.discard((namespace, key))
+            self._previous.pop((namespace, key), None)
+        return self.inner.delete(namespace, key)
+
+    def keys(self, namespace: str) -> List[str]:
+        self._perturb("keys", namespace)
+        return self.inner.keys(namespace)
+
+    def count(self, namespace: str) -> int:
+        self._perturb("count", namespace)
+        return self.inner.count(namespace)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def chaos_from_env(inner: ArtifactStore, spec: str) -> ArtifactStore:
+    """Apply the ``fabric-store-chaos:<rate>[:<seed>]`` fault-hook value.
+
+    Error injection only — the torn/stale modes are constructor-only, so
+    the hook can never wedge a campaign on a torn terminal manifest.
+    """
+    rate_raw, _, seed_raw = spec.partition(":")
+    rate = float(rate_raw)
+    seed = int(seed_raw) if seed_raw else 0
+    return ChaosStore(inner, error_rate=rate, seed=seed)
+
+
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_BREAKER_COOLDOWN",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "ChaosStore",
+    "CircuitBreaker",
+    "ResilientStore",
+    "StoreOutage",
+    "chaos_from_env",
+    "is_transient",
+]

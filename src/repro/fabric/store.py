@@ -152,6 +152,9 @@ class LocalDirStore(ArtifactStore):
         self.root = root
         self.stale_lock_seconds = stale_lock_seconds
         self.lock_timeout = lock_timeout
+        #: orphaned lockfiles broken by this store instance (dead holder
+        #: pid or stale mtime) — observability for recovery tests
+        self.locks_broken = 0
         os.makedirs(root, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -211,6 +214,29 @@ class LocalDirStore(ArtifactStore):
             except OSError:
                 pass
 
+    @staticmethod
+    def _holder_dead(lock: str) -> bool:
+        """Whether the lockfile names a holder pid that no longer runs.
+
+        Conservative: an unreadable/empty lockfile or a live (or
+        unverifiable) pid reads as "maybe alive" and falls back to the
+        mtime-age heuristic.
+        """
+        try:
+            with open(lock, "r", encoding="utf-8") as fh:
+                pid = int(fh.read().strip() or "0")
+        except (OSError, ValueError):
+            return False
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:
+            return False  # e.g. EPERM: alive but not ours
+        return False
+
     @contextmanager
     def _key_lock(self, path: str) -> Iterator[None]:
         lock = path + ".lock"
@@ -225,17 +251,22 @@ class LocalDirStore(ArtifactStore):
                     age = time.time() - os.stat(lock).st_mtime
                 except OSError:
                     continue  # holder released between open and stat; retry
-                if age > self.stale_lock_seconds:
-                    # orphaned by a killed process: break it and retry
+                if age > self.stale_lock_seconds or self._holder_dead(lock):
+                    # orphaned by a killed process: break it and retry.
+                    # The holder pid (written below) catches a dead owner
+                    # immediately; mtime age is the same-host-less fallback.
                     try:
                         os.unlink(lock)
                     except OSError:
                         pass
+                    else:
+                        self.locks_broken += 1
                     continue
                 if time.monotonic() > deadline:
                     raise TimeoutError(f"could not acquire {lock}")
                 time.sleep(0.005)
         try:
+            os.write(fd, str(os.getpid()).encode("ascii"))
             os.close(fd)
             yield
         finally:
@@ -542,17 +573,24 @@ def publish_status(store: ArtifactStore, worker_id: str, record: Dict[str, Any])
     store.put(NS_TELEMETRY, worker_id, record)
 
 
-def load_statuses(store: ArtifactStore) -> Dict[str, Dict[str, Any]]:
+def load_statuses(
+    store: ArtifactStore, skipped: Optional[List[str]] = None
+) -> Dict[str, Dict[str, Any]]:
     """All readable status records, keyed by worker id.
 
     A torn record (the publisher was killed mid-``put`` on a non-atomic
     filesystem) is skipped, not fatal — the next heartbeat overwrites it.
+    Pass ``skipped`` (a list) to collect the worker ids of torn records,
+    so ``repro top`` can count what it could not read instead of
+    silently pretending those workers do not exist.
     """
     statuses: Dict[str, Dict[str, Any]] = {}
     for worker_id in store.keys(NS_TELEMETRY):
         try:
             record = store.get(NS_TELEMETRY, worker_id)
         except StoreCorrupt:
+            if skipped is not None:
+                skipped.append(worker_id)
             continue
         if record is not None:
             statuses[worker_id] = record
@@ -699,21 +737,7 @@ def load_campaign_index(store: ArtifactStore) -> Dict[str, Dict[str, Any]]:
 STORE_SCHEMES = ("dir", "sqlite", "memory")
 
 
-def store_for(spec: str) -> ArtifactStore:
-    """Open the artifact store named by a CLI/spec/manifest string.
-
-    Addressing is URL-scheme based:
-
-    * ``dir://PATH``    — sharded-JSON :class:`LocalDirStore` directory
-    * ``sqlite://PATH`` — WAL-mode :class:`SQLiteStore` database file
-    * ``memory://NAME`` — process-local :class:`MemoryStore` (tests and
-      single-process service setups; one shared instance per name)
-
-    Bare paths keep working for back-compat — ``sqlite:PATH`` or a path
-    ending in ``.db``/``.sqlite``/``.sqlite3`` opens a SQLite store,
-    anything else a local-dir store — but emit a :class:`DeprecationWarning`;
-    spell the scheme out in new specs, manifests and ``--store`` flags.
-    """
+def _open_backend(spec: str) -> ArtifactStore:
     scheme, sep, rest = spec.partition("://")
     if sep:
         if scheme == "dir":
@@ -737,3 +761,49 @@ def store_for(spec: str) -> ArtifactStore:
     if spec.endswith((".db", ".sqlite", ".sqlite3")):
         return SQLiteStore(spec)
     return LocalDirStore(spec)
+
+
+def store_for(
+    spec: str,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+) -> ArtifactStore:
+    """Open the artifact store named by a CLI/spec/manifest string.
+
+    Addressing is URL-scheme based:
+
+    * ``dir://PATH``    — sharded-JSON :class:`LocalDirStore` directory
+    * ``sqlite://PATH`` — WAL-mode :class:`SQLiteStore` database file
+    * ``memory://NAME`` — process-local :class:`MemoryStore` (tests and
+      single-process service setups; one shared instance per name)
+
+    Bare paths keep working for back-compat — ``sqlite:PATH`` or a path
+    ending in ``.db``/``.sqlite``/``.sqlite3`` opens a SQLite store,
+    anything else a local-dir store — but emit a :class:`DeprecationWarning`;
+    spell the scheme out in new specs, manifests and ``--store`` flags.
+
+    ``retries`` > 0 wraps the backend in a
+    :class:`~repro.fabric.resilience.ResilientStore` (classified retries
+    with ``backoff`` base seconds, plus a circuit breaker); the default
+    returns the bare backend.  When the
+    ``REPRO_TEST_FAULT=fabric-store-chaos:<rate>`` hook is set, a seeded
+    :class:`~repro.fabric.resilience.ChaosStore` is layered *under* the
+    retry wrapper so every store consumer is exercised against injected
+    transient faults.
+    """
+    store = _open_backend(spec)
+    fault = os.environ.get(FAULT_ENV, "")
+    mode, _, value = fault.partition(":")
+    if mode == "fabric-store-chaos":
+        from repro.fabric.resilience import chaos_from_env
+
+        store = chaos_from_env(store, value)
+    if retries is not None and retries > 0:
+        from repro.fabric.resilience import DEFAULT_BACKOFF, ResilientStore
+
+        store = ResilientStore(
+            store,
+            retries=retries,
+            backoff=DEFAULT_BACKOFF if backoff is None else backoff,
+        )
+    return store

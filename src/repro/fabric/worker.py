@@ -282,8 +282,12 @@ class FabricWorker:
 
         stale = _fault("fabric-stale-lease") is not None
         stop_heartbeat = threading.Event()
+        # the heartbeat thread must record into the same metrics scope as
+        # the thread that spawned it (thread-locals do not inherit) — the
+        # coordinator participates via run_one on its scoped drive thread
+        scope = METRICS.active_registry()
 
-        def heartbeat() -> None:
+        def heartbeat_loop() -> None:
             renew_interval = max(queue.ttl / 3.0, 0.05)
             wake = renew_interval
             if self.fleet is not None:
@@ -296,12 +300,31 @@ class FabricWorker:
                 self._publish(PHASE_EXECUTING, unit=unit_id, stage=stage)
                 if renewing and time.monotonic() >= next_renew:
                     next_renew = time.monotonic() + renew_interval
-                    if not queue.renew(unit_id, self.worker_id):
+                    try:
+                        renewed = queue.renew(unit_id, self.worker_id)
+                    except OSError as error:
+                        # store outage: keep trying — the lease renews
+                        # late, but within the TTL grace window as long
+                        # as the store comes back; dying silently here
+                        # would forfeit a lease the owner still holds
+                        METRICS.inc("fabric.heartbeat_errors")
+                        log.warning("worker %s: lease renew on %s hit a store "
+                                    "fault (%s); retrying next beat",
+                                    self.worker_id, unit_id[:12], error)
+                        continue
+                    if not renewed:
                         log.warning("worker %s: lost lease on %s; finishing anyway "
                                     "(commits are idempotent)", self.worker_id, unit_id[:12])
                         renewing = False
                         if self.fleet is None:
                             return
+
+        def heartbeat() -> None:
+            if scope is not None:
+                with METRICS.scoped(scope):
+                    heartbeat_loop()
+            else:
+                heartbeat_loop()
 
         thread: Optional[threading.Thread] = None
         if stale:
@@ -475,7 +498,16 @@ class FabricWorker:
         index_seen = False
         try:
             while True:
-                active = self._refresh_contexts(contexts, shared_cache)
+                try:
+                    active = self._refresh_contexts(contexts, shared_cache)
+                except OSError as error:
+                    # store outage: the worker outlives it — back off and
+                    # rediscover once the store answers again
+                    METRICS.inc("fabric.store_outages")
+                    log.warning("worker %s: store unavailable (%s); backing off",
+                                self.worker_id, error)
+                    time.sleep(self.poll_interval)
+                    continue
                 index_seen = index_seen or any(
                     c.campaign_id is not None for c in active
                 )
@@ -512,11 +544,24 @@ class FabricWorker:
                 seen_work = True
                 served = False
                 for ctx in self._rotate(active):
-                    if self._quota_blocked(ctx, active):
+                    try:
+                        if self._quota_blocked(ctx, active):
+                            continue
+                        self.fleet = ctx.fleet
+                        self.ledger = ctx.ledger
+                        claimed = self.run_one(
+                            ctx.spec, ctx.queue, ctx.cache, ctx.pool()
+                        )
+                    except OSError as error:
+                        # store outage mid-unit: drop the attempt — the
+                        # lease expires and any participant reclaims it;
+                        # commits already made stay committed
+                        METRICS.inc("fabric.store_outages")
+                        log.warning("worker %s: unit serve hit a store fault "
+                                    "(%s); lease will be reclaimed",
+                                    self.worker_id, error)
                         continue
-                    self.fleet = ctx.fleet
-                    self.ledger = ctx.ledger
-                    if self.run_one(ctx.spec, ctx.queue, ctx.cache, ctx.pool()):
+                    if claimed:
                         self.served_campaigns.add(ctx.campaign_id)
                         served = True
                         break

@@ -105,6 +105,9 @@ class FleetPublisher:
         self.host = socket.gethostname()
         self.started_at = time.time()
         self.published = 0
+        #: publishes swallowed because the store (or a torn snapshot)
+        #: misbehaved — telemetry degrades, the worker keeps running
+        self.dropped = 0
         self._lock = threading.Lock()
         self._last_publish = 0.0
         #: (timestamp, cumulative sim events) of the previous publish, for
@@ -171,6 +174,9 @@ class FleetPublisher:
                 }
                 publish_status(self.store, self.worker_id, record)
             except Exception:  # noqa: BLE001 - telemetry must never kill its worker
+                self.dropped += 1
+                if METRICS.enabled:
+                    METRICS.inc("fleet.publish_dropped")
                 return False
             self._last_publish = now
             self.published += 1
@@ -206,11 +212,19 @@ class FleetAggregator:
         self._straggling: set = set()
         #: total stall episodes flagged over this aggregator's lifetime
         self.stragglers_flagged = 0
+        #: torn status records skipped on the most recent read
+        self.torn_records = 0
 
     # ------------------------------------------------------------------
     def statuses(self) -> Dict[str, Dict[str, Any]]:
-        """Readable status records, filtered to this campaign when known."""
-        records = load_statuses(self.store)
+        """Readable status records, filtered to this campaign when known.
+
+        Torn records (publisher killed mid-rewrite) are skipped and
+        counted in :attr:`torn_records`, never raised — the health table
+        stays renderable through a partial store."""
+        skipped: List[str] = []
+        records = load_statuses(self.store, skipped=skipped)
+        self.torn_records = len(skipped)
         if self.spec_fingerprint is None:
             return records
         return {
@@ -305,6 +319,7 @@ class FleetAggregator:
             "workers": workers,
             "stragglers": stragglers,
             "events_per_sec": round(fleet_rate, 1),
+            "torn_records": self.torn_records,
         }
 
     def merged_metrics(
@@ -404,6 +419,7 @@ def fleet_overview(
         "workers": fleet["workers"],
         "stragglers": fleet["stragglers"],
         "events_per_sec": fleet["events_per_sec"],
+        "torn_records": fleet.get("torn_records", 0),
         "leases": leases,
         "eta_seconds": eta,
     }

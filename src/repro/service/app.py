@@ -32,14 +32,21 @@ from typing import Any, Dict, List, Optional
 
 from repro.api import CampaignSpec
 from repro.fabric.config import FabricConfig
-from repro.fabric.coordinator import CampaignCancelled, CampaignHandle
+from repro.fabric.coordinator import (
+    ADOPT_STALE_TTLS,
+    CampaignCancelled,
+    CampaignHandle,
+)
 from repro.fabric.store import (
+    ACTIVE_CAMPAIGN_STATES,
     CAMPAIGN_RUNNING,
     ArtifactStore,
     load_campaign_index,
     register_campaign,
+    scoped_store,
     store_for,
 )
+from repro.fabric.worker import KEY_MANIFEST, MANIFEST_RUNNING, NS_CAMPAIGN
 from repro.obs.metrics import METRICS
 from repro.service.quota import TenantQuota
 
@@ -107,9 +114,17 @@ class CampaignService:
         default_quota: Optional[TenantQuota] = None,
         max_total_campaigns: int = DEFAULT_MAX_TOTAL_CAMPAIGNS,
         quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+        store_retries: int = 0,
+        store_backoff: float = 0.05,
     ):
         self._owns_store = isinstance(store, str)
-        self.store = store_for(store) if isinstance(store, str) else store
+        self.store_retries = store_retries
+        self.store_backoff = store_backoff
+        self.store = (
+            store_for(store, retries=store_retries, backoff=store_backoff)
+            if isinstance(store, str)
+            else store
+        )
         self.store_url = store if isinstance(store, str) else None
         self.quotas = dict(quotas or {})
         self.default_quota = default_quota or TenantQuota()
@@ -127,6 +142,106 @@ class CampaignService:
 
     def _running_handles(self) -> List[CampaignHandle]:
         return [h for h in self._handles.values() if not h.done()]
+
+    # --------------------------------------------------------- reattach
+    def _detached_running(
+        self, campaign_id: str, record: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """The scoped manifest iff this index record is an adoptable orphan.
+
+        Adoptable means: the index says running, no live handle in this
+        process, the scoped manifest says running, and its coordinator
+        heartbeat is verifiably stale — a fresh heartbeat belongs to a
+        coordinator in some other process, which we must not double-drive.
+        """
+        if record.get("status") not in ACTIVE_CAMPAIGN_STATES:
+            return None
+        handle = self._handles.get(campaign_id)
+        if handle is not None and not handle.done():
+            return None
+        try:
+            manifest = scoped_store(self.store, campaign_id).get(
+                NS_CAMPAIGN, KEY_MANIFEST
+            )
+        except Exception:  # noqa: BLE001 - torn or unreachable manifest
+            return None
+        if manifest is None or manifest.get("status") != MANIFEST_RUNNING:
+            return None
+        beat = manifest.get("coordinator_heartbeat_at")
+        ttl = float(manifest.get("lease_ttl", 30.0))
+        if beat is not None and time.time() - float(beat) < ADOPT_STALE_TTLS * ttl:
+            return None
+        return manifest
+
+    def _reattach_locked(
+        self, campaign_id: str, manifest: Dict[str, Any]
+    ) -> Optional[CampaignHandle]:
+        """Build (don't start) a handle that resumes ``campaign_id``.
+
+        The spec is rebuilt from the manifest — the exact computation the
+        dead coordinator was driving — with this service's fabric runtime
+        grafted on (fabric is fingerprint-neutral, so the fingerprint
+        must still match the manifest's; a mismatch means a corrupt or
+        incompatible manifest and the campaign is left alone).
+        """
+        try:
+            spec = CampaignSpec.from_dict(manifest["spec"])
+        except (TypeError, ValueError, KeyError, AttributeError) as error:
+            log.warning("service: campaign %s manifest spec unreadable (%s); "
+                        "not re-attaching", campaign_id, error)
+            return None
+        fabric = FabricConfig(
+            store=self.store_url or "memory://service",
+            lease_ttl=float(manifest.get("lease_ttl", 30.0)),
+            telemetry_interval=float(manifest.get("telemetry_interval", 1.0)),
+            stall_window=float(manifest.get("stall_window", 15.0)),
+            store_retries=self.store_retries,
+            store_backoff=self.store_backoff,
+        )
+        spec = spec.with_overrides(fabric=fabric)
+        fingerprint = spec.fingerprint()
+        if fingerprint != manifest.get("spec_fingerprint"):
+            log.warning("service: campaign %s spec fingerprint drifted "
+                        "(%s != %s); not re-attaching", campaign_id,
+                        fingerprint[:12], str(manifest.get("spec_fingerprint"))[:12])
+            return None
+        handle = CampaignHandle(spec, store=self.store, campaign_id=campaign_id)
+        self._handles[campaign_id] = handle
+        return handle
+
+    def reattach_detached(self) -> List[Dict[str, Any]]:
+        """Re-attach drive loops for campaigns orphaned by a dead coordinator.
+
+        Called on service startup (``repro serve``): every index campaign
+        still marked running whose scoped manifest carries a stale
+        coordinator heartbeat gets a fresh :class:`CampaignHandle` in
+        this process — leases, committed results and the warm cache are
+        all on the store, so the campaign finishes instead of hanging
+        detached forever.  Returns one record per campaign re-attached.
+        """
+        started: List[CampaignHandle] = []
+        reattached: List[Dict[str, Any]] = []
+        with self._lock:
+            for campaign_id, record in sorted(load_campaign_index(self.store).items()):
+                manifest = self._detached_running(campaign_id, record)
+                if manifest is None:
+                    continue
+                handle = self._reattach_locked(campaign_id, manifest)
+                if handle is None:
+                    continue
+                started.append(handle)
+                reattached.append({
+                    "campaign_id": campaign_id,
+                    "tenant": handle.tenant,
+                    "spec_fingerprint": handle.spec_fingerprint,
+                    "reattached": True,
+                })
+        for handle in started:
+            handle.start()
+            METRICS.inc("service.campaigns.reattached")
+            log.info("service: re-attached campaign %s (tenant %s)",
+                     handle.campaign_id, handle.tenant)
+        return reattached
 
     # ----------------------------------------------------------- submit
     def submit(self, document: Dict[str, Any]) -> Dict[str, Any]:
@@ -173,6 +288,32 @@ class CampaignService:
                     f"tenant {tenant!r} already has {len(mine)} running "
                     f"campaign(s) (quota {quota.max_concurrent_campaigns})"
                 )
+            # a resubmit of a campaign this store already hosts — running
+            # in the index but orphaned by a dead coordinator — attaches
+            # to the existing campaign instead of forking a duplicate
+            for existing_id, record in sorted(load_campaign_index(self.store).items()):
+                if record.get("spec_fingerprint") != fingerprint:
+                    continue
+                if str(record.get("tenant", "default")) != tenant:
+                    continue
+                manifest = self._detached_running(existing_id, record)
+                if manifest is None:
+                    continue
+                handle = self._reattach_locked(existing_id, manifest)
+                if handle is None:
+                    continue
+                handle.start()
+                METRICS.inc("service.campaigns.reattached")
+                log.info("service: resubmit of campaign %s re-attached "
+                         "(tenant %s, spec %s)", existing_id, tenant,
+                         fingerprint[:12])
+                return {
+                    "campaign_id": existing_id,
+                    "tenant": tenant,
+                    "spec_fingerprint": fingerprint,
+                    "status": CAMPAIGN_RUNNING,
+                    "reattached": True,
+                }
             campaign_id = uuid.uuid4().hex[:12]
             register_campaign(self.store, campaign_id, {
                 "campaign_id": campaign_id,

@@ -14,6 +14,14 @@ import time
 from typing import Any, Dict, Optional
 
 DEFAULT_TIMEOUT = 30.0
+DEFAULT_RETRIES = 3
+DEFAULT_RETRY_BACKOFF = 0.1
+MAX_RETRY_BACKOFF = 2.0
+
+#: connection-level failures worth retrying — the service is restarting
+#: (``repro serve`` HA) or the listener briefly dropped us; an HTTP error
+#: status is a real answer and is never retried
+TRANSIENT_ERRORS = (ConnectionRefusedError, ConnectionResetError)
 
 
 class ServiceHTTPError(Exception):
@@ -26,17 +34,36 @@ class ServiceHTTPError(Exception):
 
 
 class ServiceClient:
-    """One service endpoint (``host:port``), stateless per request."""
+    """One service endpoint (``host:port``), stateless per request.
 
-    def __init__(self, host: str, port: int, timeout: float = DEFAULT_TIMEOUT):
+    Connection-level failures (:data:`TRANSIENT_ERRORS`) are retried
+    ``retries`` times with bounded exponential backoff — a restarting
+    service looks connection-refused for a moment, and callers should
+    not have to care.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.retry_backoff = retry_backoff
+        #: transient connection errors retried over this client's lifetime
+        self.retried = 0
 
     # ------------------------------------------------------------- wire
-    def request(
+    def _single_request(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
+        """One request, no retries — the seam the retry loop (and tests)
+        drive."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -55,6 +82,23 @@ class ServiceClient:
             return document
         finally:
             connection.close()
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._single_request(method, path, body)
+            except TRANSIENT_ERRORS:
+                if attempt >= self.retries:
+                    raise
+                delay = min(
+                    self.retry_backoff * (2 ** attempt), MAX_RETRY_BACKOFF
+                )
+                attempt += 1
+                self.retried += 1
+                time.sleep(delay)
 
     # ------------------------------------------------------------- verbs
     def healthz(self) -> Dict[str, Any]:
@@ -86,7 +130,16 @@ class ServiceClient:
         status document (raises ``TimeoutError`` otherwise)."""
         deadline = time.monotonic() + timeout
         while True:
-            status = self.status(campaign_id)
+            try:
+                status = self.status(campaign_id)
+            except TRANSIENT_ERRORS:
+                # the service is down mid-wait (restart, crash+HA): keep
+                # polling until the wait's own deadline — a re-attached
+                # coordinator will start answering again
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(poll_interval)
+                continue
             # "pending" is the handle's pre-drive instant; not terminal
             if status.get("status") not in ("pending", "running"):
                 return status
@@ -97,4 +150,10 @@ class ServiceClient:
             time.sleep(poll_interval)
 
 
-__all__ = ["ServiceClient", "ServiceHTTPError", "DEFAULT_TIMEOUT"]
+__all__ = [
+    "ServiceClient",
+    "ServiceHTTPError",
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_RETRIES",
+    "TRANSIENT_ERRORS",
+]

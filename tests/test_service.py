@@ -392,3 +392,149 @@ class TestServiceCli:
         ])
         assert args.protocol == "tcp" and args.tenant == "alice"
         assert args.port == 1234 and args.wait and args.timeout == 30.0
+
+
+# ----------------------------------------------------------------------
+# Service HA: a restarted service re-attaches drive loops for campaigns
+# a previous (killed) coordinator left running on the store.
+
+class TestServiceHA:
+    def _orphan(self, store, campaign_id, tenant="default", beat_age=10000.0):
+        """Plant a running index record + scoped manifest whose coordinator
+        heartbeat stopped ``beat_age`` seconds ago — exactly what a killed
+        ``repro serve`` leaves behind."""
+        from repro.fabric.store import register_campaign, scoped_store
+        from repro.fabric.worker import KEY_MANIFEST, NS_CAMPAIGN
+
+        spec = CampaignSpec(
+            testbed=TestbedConfig(protocol="tcp", variant="linux-3.13", **FAST),
+            workers=1, sample_every=500, tenant=tenant,
+        )
+        fingerprint = spec.fingerprint()
+        register_campaign(store, campaign_id, {
+            "campaign_id": campaign_id, "tenant": tenant,
+            "spec_fingerprint": fingerprint, "status": "running",
+            "max_leased_units": None,
+            "created_at": time.time() - beat_age,
+            "updated_at": time.time() - beat_age,
+        })
+        scoped_store(store, campaign_id).put(NS_CAMPAIGN, KEY_MANIFEST, {
+            "spec": spec.to_dict(), "spec_fingerprint": fingerprint,
+            "status": "running", "lease_ttl": 2.0,
+            "telemetry_interval": 0.2, "stall_window": 15.0,
+            "created_at": time.time() - beat_age,
+            "coordinator_heartbeat_at": time.time() - beat_age,
+            "campaign_id": campaign_id, "tenant": tenant,
+        })
+        return spec
+
+    @pytest.fixture
+    def ha_store(self):
+        from repro.fabric.store import store_for
+
+        MemoryStore.reset_registry()
+        store = store_for("memory://service-ha")
+        yield store
+        MemoryStore.reset_registry()
+
+    def test_restart_reattaches_orphaned_campaign(self, ha_store):
+        self._orphan(ha_store, "orphan0000001")
+        svc = CampaignService("memory://service-ha")
+        try:
+            out = svc.reattach_detached()
+            assert [r["campaign_id"] for r in out] == ["orphan0000001"]
+            assert out[0]["reattached"] is True
+            assert _wait_done(svc, "orphan0000001") == "complete"
+            report = svc.report("orphan0000001")
+            assert report["status"] == "complete"
+            assert report["runs_completed"] > 0
+        finally:
+            svc.close()
+
+    def test_live_coordinator_is_not_reattached(self, ha_store):
+        self._orphan(ha_store, "orphan0000002", beat_age=0.0)
+        svc = CampaignService("memory://service-ha")
+        try:
+            assert svc.reattach_detached() == []
+            # the status endpoint still answers, flagged detached
+            assert svc.status("orphan0000002")["detached"] is True
+        finally:
+            svc.close()
+
+    def test_resubmit_of_detached_campaign_attaches(self, ha_store):
+        spec = self._orphan(ha_store, "orphan0000003")
+        svc = CampaignService("memory://service-ha")
+        try:
+            out = svc.submit(spec.to_dict())
+            assert out["campaign_id"] == "orphan0000003"
+            assert out["reattached"] is True
+            assert _wait_done(svc, "orphan0000003") == "complete"
+        finally:
+            svc.close()
+
+    def test_resubmit_of_live_campaign_starts_a_fresh_one(self, ha_store):
+        spec = self._orphan(ha_store, "orphan0000004", beat_age=0.0)
+        svc = CampaignService("memory://service-ha")
+        try:
+            out = svc.submit(spec.to_dict())
+            assert out["campaign_id"] != "orphan0000004"
+            assert "reattached" not in out
+            assert _wait_done(svc, out["campaign_id"]) == "complete"
+        finally:
+            svc.close()
+
+
+class TestClientRetries:
+    def test_transient_connection_errors_are_retried(self):
+        client = ServiceClient("127.0.0.1", 1, retries=3, retry_backoff=0.0)
+        attempts = []
+
+        def flaky(method, path, body=None):
+            attempts.append(path)
+            if len(attempts) < 3:
+                raise ConnectionRefusedError("service restarting")
+            return {"ok": True}
+
+        client._single_request = flaky
+        assert client.request("GET", "/healthz") == {"ok": True}
+        assert client.retried == 2
+
+    def test_http_errors_are_never_retried(self):
+        client = ServiceClient("127.0.0.1", 1, retries=3, retry_backoff=0.0)
+        calls = []
+
+        def reject(method, path, body=None):
+            calls.append(1)
+            raise ServiceHTTPError(422, {"error": "bad spec"})
+
+        client._single_request = reject
+        with pytest.raises(ServiceHTTPError):
+            client.request("POST", "/campaigns", body={})
+        assert len(calls) == 1 and client.retried == 0
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        client = ServiceClient("127.0.0.1", 1, retries=1, retry_backoff=0.0)
+
+        def dead(method, path, body=None):
+            raise ConnectionResetError("gone")
+
+        client._single_request = dead
+        with pytest.raises(ConnectionResetError):
+            client.request("GET", "/")
+        assert client.retried == 1
+
+    def test_wait_outlives_a_service_restart_window(self):
+        client = ServiceClient("127.0.0.1", 1, retries=0)
+        responses = [ConnectionRefusedError("restarting"),
+                     ConnectionRefusedError("restarting"),
+                     {"status": "complete"}]
+
+        def status(campaign_id):
+            item = responses.pop(0)
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        client.status = status
+        final = client.wait("abc", timeout=5.0, poll_interval=0.01)
+        assert final == {"status": "complete"}
